@@ -1,0 +1,300 @@
+// Package aimes is a Go reproduction of the AIMES middleware from
+// "Integrating Abstractions to Enhance the Execution of Distributed
+// Applications" (Turilli et al., IPDPS 2016, arXiv:1504.04720).
+//
+// It integrates four abstractions for executing many-task applications on
+// multiple dynamic resources:
+//
+//   - Skeletons describe applications (stages, tasks, durations, files),
+//   - Bundles characterize resources (query, predict, monitor, discover),
+//   - Pilots decouple resource acquisition from task execution, and
+//   - Execution Strategies make the coupling decisions explicit: binding,
+//     unit scheduler, pilot count, pilot size, walltime, resource choice.
+//
+// The execution substrate is simulated: batch queues with heavy-tailed
+// waits (emergent from a full scheduler simulation or drawn from calibrated
+// models), WAN links for staging, and per-resource submission overheads.
+// Everything runs on a deterministic discrete-event engine, so experiments
+// that took the authors a year of production time replay in milliseconds —
+// or on a wall-clock engine for local real-time execution.
+//
+// # Quick start
+//
+//	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 42})
+//	if err != nil { ... }
+//	app := aimes.BagOfTasks(128, aimes.UniformDuration())
+//	report, err := env.RunApp(app, aimes.StrategyConfig{
+//		Binding:   aimes.LateBinding,
+//		Scheduler: aimes.SchedBackfill,
+//		Pilots:    3,
+//	})
+//	report.WriteSummary(os.Stdout)
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the paper
+// reproduction.
+package aimes
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aimes/internal/bundle"
+	"aimes/internal/core"
+	"aimes/internal/netsim"
+	"aimes/internal/pilot"
+	"aimes/internal/saga"
+	"aimes/internal/sim"
+	"aimes/internal/site"
+	"aimes/internal/skeleton"
+	"aimes/internal/trace"
+)
+
+// Re-exported application (skeleton) types.
+type (
+	// AppSpec declares a skeleton application.
+	AppSpec = skeleton.AppSpec
+	// StageSpec declares one stage.
+	StageSpec = skeleton.StageSpec
+	// IterationSpec repeats stage blocks.
+	IterationSpec = skeleton.IterationSpec
+	// Spec is a scalar distribution/function specification.
+	Spec = skeleton.Spec
+	// Workload is a generated, concrete application.
+	Workload = skeleton.Workload
+	// Mapping selects inter-stage data wiring.
+	Mapping = skeleton.Mapping
+)
+
+// Re-exported skeleton constructors and constants.
+var (
+	// BagOfTasks builds the paper's experimental workload.
+	BagOfTasks = skeleton.BagOfTasks
+	// UniformDuration is the 15-minute constant task duration.
+	UniformDuration = skeleton.UniformDuration
+	// GaussianDuration is the truncated Gaussian duration of Table I.
+	GaussianDuration = skeleton.GaussianDuration
+	// GenerateWorkload materializes an AppSpec with a seed.
+	GenerateWorkload = skeleton.Generate
+	// ParseAppJSON reads an AppSpec from JSON.
+	ParseAppJSON = skeleton.ParseJSON
+	// ParseAppText reads an AppSpec from the flat key = value config format.
+	ParseAppText = skeleton.ParseText
+	// ParseWorkloadJSON reads a concrete workload from the middleware
+	// interchange format written by Workload.WriteMiddlewareJSON.
+	ParseWorkloadJSON = skeleton.ParseWorkloadJSON
+)
+
+// Skeleton spec helpers.
+var (
+	ConstantSpec    = skeleton.Constant
+	UniformSpec     = skeleton.Uniform
+	TruncNormalSpec = skeleton.TruncNormal
+	LinearOfSpec    = skeleton.LinearOf
+)
+
+// Inter-stage mappings.
+const (
+	MapExternal = skeleton.MapExternal
+	MapOneToOne = skeleton.MapOneToOne
+	MapAllToAll = skeleton.MapAllToAll
+	MapGather   = skeleton.MapGather
+	MapScatter  = skeleton.MapScatter
+)
+
+// Re-exported strategy types (the paper's primary contribution).
+type (
+	// Strategy is a fully derived execution strategy.
+	Strategy = core.Strategy
+	// StrategyConfig holds the derivation knobs.
+	StrategyConfig = core.StrategyConfig
+	// Report is the instrumented outcome: TTC and its Tw/Tx/Ts components.
+	Report = core.Report
+	// Binding selects early or late task-to-pilot binding.
+	Binding = core.Binding
+	// SchedulerKind selects the unit scheduler.
+	SchedulerKind = core.SchedulerKind
+	// Selection selects the resource-selection policy.
+	Selection = core.Selection
+	// AdaptiveConfig enables runtime strategy adaptation.
+	AdaptiveConfig = core.AdaptiveConfig
+)
+
+// ChoosePilotCount exposes the execution manager's semi-empirical pilot-
+// count heuristic (requires primed bundle wait history).
+var ChoosePilotCount = core.ChoosePilotCount
+
+// Strategy decision values.
+const (
+	EarlyBinding = core.EarlyBinding
+	LateBinding  = core.LateBinding
+
+	SchedDirect     = core.SchedDirect
+	SchedRoundRobin = core.SchedRoundRobin
+	SchedBackfill   = core.SchedBackfill
+
+	SelectRandom          = core.SelectRandom
+	SelectByPredictedWait = core.SelectByPredictedWait
+	SelectFixed           = core.SelectFixed
+)
+
+// Re-exported resource types.
+type (
+	// SiteConfig describes one simulated resource.
+	SiteConfig = site.Config
+	// Bundle aggregates resource characterizations.
+	Bundle = bundle.Bundle
+	// Resource is one bundle entry.
+	Resource = bundle.Resource
+	// ComputeInfo is an on-demand compute query result.
+	ComputeInfo = bundle.ComputeInfo
+	// Monitor polls bundles for threshold subscriptions.
+	Monitor = bundle.Monitor
+	// Condition is a monitoring threshold predicate.
+	Condition = bundle.Condition
+	// MonitorEvent notifies subscribers of sustained threshold crossings.
+	MonitorEvent = bundle.Event
+	// PilotConfig tunes middleware overheads and failure injection.
+	PilotConfig = pilot.Config
+	// Recorder holds the execution trace.
+	Recorder = trace.Recorder
+)
+
+// DefaultTestbed returns the five-resource simulated testbed standing in
+// for the paper's XSEDE and NERSC machines.
+var DefaultTestbed = site.DefaultTestbed
+
+// EnvConfig configures a simulated execution environment.
+type EnvConfig struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Sites overrides DefaultTestbed when non-nil.
+	Sites []SiteConfig
+	// Pilot overrides the default middleware configuration when non-nil.
+	Pilot *PilotConfig
+}
+
+// Environment is a ready-to-use simulated execution environment: a
+// discrete-event engine, a resource testbed, a SAGA session, a bundle, and
+// an execution manager.
+type Environment struct {
+	eng     *sim.Sim
+	testbed *site.Testbed
+	bndl    *bundle.Bundle
+	mgr     *core.Manager
+	rng     *rand.Rand
+}
+
+// NewSimulatedEnvironment builds a deterministic simulated environment.
+func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
+	eng := sim.NewSim()
+	configs := cfg.Sites
+	if configs == nil {
+		configs = site.DefaultTestbed()
+	}
+	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sess := saga.NewSession()
+	for _, s := range tb.Sites() {
+		sess.Register(saga.NewBatchAdaptor(eng, s))
+	}
+	b := bundle.New(tb.Sites())
+	links := func(resource string) *netsim.Link {
+		s := tb.Site(resource)
+		if s == nil {
+			return nil
+		}
+		return s.Link()
+	}
+	pcfg := pilot.DefaultConfig()
+	if cfg.Pilot != nil {
+		pcfg = *cfg.Pilot
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x414D4553)) // "AMES"
+	mgr := core.NewManager(eng, b, sess, links, pcfg, nil, rng)
+	return &Environment{eng: eng, testbed: tb, bndl: b, mgr: mgr, rng: rng}, nil
+}
+
+// Bundle exposes the environment's resource bundle for queries, monitoring
+// and discovery.
+func (e *Environment) Bundle() *Bundle { return e.bndl }
+
+// Recorder exposes the execution trace (every pilot and unit state
+// transition with timestamps).
+func (e *Environment) Recorder() *Recorder { return e.mgr.Recorder() }
+
+// Resources returns the testbed resource names.
+func (e *Environment) Resources() []string { return e.testbed.Names() }
+
+// Derive makes the execution-strategy decisions for a workload without
+// enacting them.
+func (e *Environment) Derive(w *Workload, cfg StrategyConfig) (Strategy, error) {
+	return core.Derive(w, e.bndl, cfg, e.rng)
+}
+
+// Run generates nothing: it enacts a pre-derived strategy for a workload
+// and returns the instrumented report.
+func (e *Environment) Run(w *Workload, s Strategy) (*Report, error) {
+	return e.mgr.ExecuteAndWait(e.eng, w, s)
+}
+
+// RunWorkload derives a strategy from the config and enacts it.
+func (e *Environment) RunWorkload(w *Workload, cfg StrategyConfig) (*Report, error) {
+	return e.mgr.DeriveAndExecute(e.eng, w, cfg)
+}
+
+// RunStaged executes a multistage workload one stage at a time, re-deriving
+// the strategy before each stage and feeding observed queue waits back into
+// the bundle (paper §V, workflow decomposition). It returns the aggregate
+// report and the per-stage reports.
+func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Report, error) {
+	return e.mgr.ExecuteStaged(e.eng, w, cfg)
+}
+
+// RunAdaptive enacts a strategy with runtime adaptation: if no pilot
+// activates within the patience window, the execution manager widens onto
+// additional resources (paper §V, "dynamic execution").
+func (e *Environment) RunAdaptive(w *Workload, s Strategy, acfg AdaptiveConfig) (*Report, error) {
+	exec, err := e.mgr.ExecuteAdaptive(w, s, acfg)
+	if err != nil {
+		return nil, err
+	}
+	for !exec.Done() && e.eng.Step() {
+	}
+	if !exec.Done() {
+		return nil, fmt.Errorf("aimes: simulation drained but workload incomplete")
+	}
+	return exec.Report(), nil
+}
+
+// RunApp generates the application (seeded by the environment seed), then
+// derives and enacts a strategy — the one-call entry point.
+func (e *Environment) RunApp(app AppSpec, cfg StrategyConfig) (*Report, error) {
+	w, err := skeleton.Generate(app, e.rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	return e.RunWorkload(w, cfg)
+}
+
+// NewMonitor starts a bundle monitor on the environment's engine. Note that
+// in a simulated environment time only advances while a workload runs.
+func (e *Environment) NewMonitor(interval time.Duration) *Monitor {
+	return bundle.NewMonitor(e.eng, e.bndl, interval)
+}
+
+// Validate ensures strategy configs that name fixed resources reference the
+// environment's testbed, returning a descriptive error otherwise.
+func (e *Environment) Validate(cfg StrategyConfig) error {
+	if cfg.Selection != SelectFixed {
+		return nil
+	}
+	for _, name := range cfg.FixedResources {
+		if e.testbed.Site(name) == nil {
+			return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.testbed.Names())
+		}
+	}
+	return nil
+}

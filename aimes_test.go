@@ -1,0 +1,209 @@
+package aimes_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aimes"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Resources()) != 5 {
+		t.Fatalf("resources = %v", env.Resources())
+	}
+	report, err := env.RunApp(aimes.BagOfTasks(32, aimes.UniformDuration()), aimes.StrategyConfig{
+		Binding:   aimes.LateBinding,
+		Scheduler: aimes.SchedBackfill,
+		Pilots:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.UnitsDone != 32 {
+		t.Fatalf("done = %d, want 32", report.UnitsDone)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "late binding") {
+		t.Fatalf("summary:\n%s", buf.String())
+	}
+}
+
+func TestEnvironmentDeterminism(t *testing.T) {
+	run := func() *aimes.Report {
+		env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := env.RunApp(aimes.BagOfTasks(16, aimes.GaussianDuration()), aimes.StrategyConfig{
+			Binding: aimes.EarlyBinding, Scheduler: aimes.SchedDirect, Pilots: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.TTC != b.TTC || a.Tw != b.Tw || a.Tx != b.Tx || a.Ts != b.Ts {
+		t.Fatalf("same seed diverged: %v vs %v", a.TTC, b.TTC)
+	}
+}
+
+func TestDeriveThenRun(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := aimes.GenerateWorkload(aimes.BagOfTasks(64, aimes.UniformDuration()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := env.Derive(w, aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pilots != 3 || s.PilotCores != 22 {
+		t.Fatalf("strategy = %+v", s)
+	}
+	report, err := env.Run(w, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.UnitsDone != 64 {
+		t.Fatalf("done = %d", report.UnitsDone)
+	}
+}
+
+func TestBundleQueriesThroughFacade(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := env.Bundle()
+	infos := b.QueryAll()
+	if len(infos) != 5 {
+		t.Fatalf("queried %d resources", len(infos))
+	}
+	matched, err := b.Match(`arch == "cray"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matched) != 1 || matched[0].Name() != "hopper" {
+		t.Fatal("discovery through facade broken")
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.RunApp(aimes.BagOfTasks(8, aimes.UniformDuration()), aimes.StrategyConfig{
+		Binding: aimes.EarlyBinding, Scheduler: aimes.SchedDirect, Pilots: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := env.Recorder()
+	if rec.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(rec.ByState("EXECUTING")) != 8 {
+		t.Fatalf("trace has %d executions, want 8", len(rec.ByState("EXECUTING")))
+	}
+}
+
+func TestCustomSites(t *testing.T) {
+	sites := aimes.DefaultTestbed()[:2]
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 5, Sites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Resources()) != 2 {
+		t.Fatalf("resources = %v", env.Resources())
+	}
+	// Asking for 3 pilots on 2 sites must fail cleanly at derivation.
+	w, _ := aimes.GenerateWorkload(aimes.BagOfTasks(8, aimes.UniformDuration()), 5)
+	if _, err := env.Derive(w, aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 3,
+	}); err == nil {
+		t.Fatal("3 pilots on 2 sites derived")
+	}
+}
+
+func TestValidateFixedResources(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := aimes.StrategyConfig{
+		Selection: aimes.SelectFixed, FixedResources: []string{"stampede"}, Pilots: 1,
+	}
+	if err := env.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := aimes.StrategyConfig{
+		Selection: aimes.SelectFixed, FixedResources: []string{"atlantis"}, Pilots: 1,
+	}
+	if err := env.Validate(bad); err == nil {
+		t.Fatal("unknown fixed resource validated")
+	}
+}
+
+func TestMultistageAppThroughFacade(t *testing.T) {
+	app := aimes.AppSpec{
+		Name: "pipeline",
+		Stages: []aimes.StageSpec{
+			{Name: "prep", Tasks: 8, DurationS: aimes.ConstantSpec(60),
+				InputBytes: aimes.ConstantSpec(1 << 20), OutputBytes: aimes.ConstantSpec(1 << 18)},
+			{Name: "solve", Tasks: 8, DurationS: aimes.ConstantSpec(120),
+				OutputBytes: aimes.ConstantSpec(1 << 10), Inputs: aimes.MapOneToOne},
+		},
+	}
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := env.RunApp(app, aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.UnitsDone != 16 {
+		t.Fatalf("done = %d, want 16", report.UnitsDone)
+	}
+}
+
+func TestMonitorThroughFacade(t *testing.T) {
+	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := env.NewMonitor(time.Minute)
+	fired := 0
+	if err := m.Subscribe(aimes.Condition{
+		Resource: "gordon", Metric: "free_nodes", Op: ">", Threshold: 1,
+	}, func(aimes.MonitorEvent) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Running a workload advances virtual time, so the monitor polls.
+	if _, err := env.RunApp(aimes.BagOfTasks(8, aimes.UniformDuration()), aimes.StrategyConfig{
+		Binding: aimes.EarlyBinding, Scheduler: aimes.SchedDirect, Pilots: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	if fired != 1 {
+		t.Fatalf("monitor fired %d times, want 1 (edge-triggered)", fired)
+	}
+}

@@ -1,0 +1,329 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Table I, Figures 2, 3a–d, 4a–b) plus the ablations of
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark executes a reduced experiment matrix per iteration
+// (all nine application sizes, fewer repetitions than the CLI default) and
+// logs the regenerated table once. cmd/aimes-experiments produces the
+// full-size tables.
+package aimes_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aimes/internal/batch"
+	"aimes/internal/experiments"
+	"aimes/internal/sim"
+	"aimes/internal/trace"
+)
+
+// benchReps keeps bench iterations affordable while preserving the shapes.
+const benchReps = 4
+
+func logOnce(b *testing.B, i int, buf *bytes.Buffer) {
+	if i == 0 {
+		b.Logf("\n%s", buf.String())
+	}
+}
+
+// BenchmarkTableI regenerates the experiment/strategy matrix and validates
+// one run per experiment row.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.WriteTableI(&buf); err != nil {
+			b.Fatal(err)
+		}
+		for _, def := range experiments.TableI {
+			res := experiments.Run(experiments.RunSpec{Exp: def, NTasks: 8, Rep: i})
+			if res.Err != "" {
+				b.Fatalf("exp %d failed: %s", def.ID, res.Err)
+			}
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure2 regenerates the TTC comparison across experiments 1–4
+// for all nine application sizes.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := experiments.Matrix(experiments.TableI, experiments.Sizes, benchReps)
+		agg := experiments.Aggregate(experiments.RunAll(specs, 0))
+		var buf bytes.Buffer
+		if err := experiments.WriteFigure2(&buf, agg); err != nil {
+			b.Fatal(err)
+		}
+		if violations := experiments.CheckShape(agg); len(violations) > 0 {
+			b.Logf("shape violations (expected to be rare at %d reps): %v", benchReps, violations)
+		}
+		if cell := agg[3][2048]; cell != nil && cell.N > 0 {
+			b.ReportMetric(cell.TTC.Mean(), "exp3-ttc-2048-s")
+		}
+		if cell := agg[1][2048]; cell != nil && cell.N > 0 {
+			b.ReportMetric(cell.TTC.Mean(), "exp1-ttc-2048-s")
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// benchFigure3 regenerates one panel of Figure 3 (TTC, Tw, Tx, Ts).
+func benchFigure3(b *testing.B, exp int) {
+	def, err := experiments.Experiment(exp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		specs := experiments.Matrix([]experiments.Definition{def}, experiments.Sizes, benchReps)
+		agg := experiments.Aggregate(experiments.RunAll(specs, 0))
+		var buf bytes.Buffer
+		if err := experiments.WriteFigure3(&buf, agg, exp); err != nil {
+			b.Fatal(err)
+		}
+		if cell := agg[exp][2048]; cell != nil && cell.N > 0 {
+			b.ReportMetric(cell.Tw.Mean(), "tw-2048-s")
+			b.ReportMetric(cell.Tx.Mean(), "tx-2048-s")
+			b.ReportMetric(cell.Ts.Mean(), "ts-2048-s")
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure3a — experiment 1 (early binding, uniform durations).
+func BenchmarkFigure3a(b *testing.B) { benchFigure3(b, 1) }
+
+// BenchmarkFigure3b — experiment 2 (early binding, Gaussian durations).
+func BenchmarkFigure3b(b *testing.B) { benchFigure3(b, 2) }
+
+// BenchmarkFigure3c — experiment 3 (late binding, uniform durations).
+func BenchmarkFigure3c(b *testing.B) { benchFigure3(b, 3) }
+
+// BenchmarkFigure3d — experiment 4 (late binding, Gaussian durations).
+func BenchmarkFigure3d(b *testing.B) { benchFigure3(b, 4) }
+
+// BenchmarkFigure4 regenerates the TTC error-bar comparison between early
+// and late binding (experiments 1 and 3).
+func BenchmarkFigure4(b *testing.B) {
+	defs := []experiments.Definition{}
+	for _, id := range []int{1, 3} {
+		d, err := experiments.Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defs = append(defs, d)
+	}
+	for i := 0; i < b.N; i++ {
+		specs := experiments.Matrix(defs, experiments.Sizes, benchReps+2)
+		agg := experiments.Aggregate(experiments.RunAll(specs, 0))
+		var buf bytes.Buffer
+		if err := experiments.WriteFigure4(&buf, agg); err != nil {
+			b.Fatal(err)
+		}
+		var earlyStd, lateStd float64
+		for _, n := range experiments.Sizes {
+			if c := agg[1][n]; c != nil {
+				earlyStd += c.TTC.Std()
+			}
+			if c := agg[3][n]; c != nil {
+				lateStd += c.TTC.Std()
+			}
+		}
+		b.ReportMetric(earlyStd/float64(len(experiments.Sizes)), "early-ttc-std-s")
+		b.ReportMetric(lateStd/float64(len(experiments.Sizes)), "late-ttc-std-s")
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationPilotCount sweeps pilot counts 1..5 (A1).
+func BenchmarkAblationPilotCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationPilotCount(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationEmergentWaits cross-validates the stochastic wait model
+// against the full batch-scheduler simulation (A2).
+func BenchmarkAblationEmergentWaits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationEmergentWaits(&buf, 64, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationPrediction compares random vs predictive resource
+// selection (A3).
+func BenchmarkAblationPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationPrediction(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationFailures measures restart cost under failure injection
+// (A4).
+func BenchmarkAblationFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationFailures(&buf, 128, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationThroughput reports the throughput metric across all four
+// strategies (A5).
+func BenchmarkAblationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationThroughput(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationHeterogeneous runs non-uniform (lognormal) task sizes
+// (A6).
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationHeterogeneous(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationAdaptive compares static vs adaptive execution (A7).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationAdaptive(&buf, 128, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationAutoPilots compares fixed vs heuristic pilot counts (A8).
+func BenchmarkAblationAutoPilots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationAutoPilots(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// --- Microbenchmarks for the substrate hot paths ---
+
+// BenchmarkSimEngine measures raw event throughput of the DES core.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewSim()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Duration(i)*time.Microsecond, func() { count++ })
+	}
+	eng.Run()
+	if count != b.N {
+		b.Fatalf("fired %d, want %d", count, b.N)
+	}
+}
+
+// BenchmarkEASYBackfill measures the batch policy under a deep queue.
+func BenchmarkEASYBackfill(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	queue := make([]*batch.Job, 256)
+	for i := range queue {
+		queue[i] = &batch.Job{
+			ID: "j", Nodes: 1 + rng.Intn(64),
+			Runtime:  time.Duration(rng.Intn(7200)) * time.Second,
+			Walltime: time.Duration(3600+rng.Intn(7200)) * time.Second,
+		}
+	}
+	running := make([]*batch.Job, 64)
+	for i := range running {
+		running[i] = &batch.Job{
+			ID: "r", Nodes: 1 + rng.Intn(16),
+			Walltime: time.Duration(600+rng.Intn(7200)) * time.Second,
+		}
+	}
+	policy := batch.EASY{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.Select(queue, 32, sim.Time(time.Duration(i)), running)
+	}
+}
+
+// BenchmarkSpanUnion measures the trace-analysis hot path.
+func BenchmarkSpanUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	spans := make([]trace.Span, 4096)
+	for i := range spans {
+		start := sim.Time(time.Duration(rng.Intn(100000)) * time.Millisecond)
+		spans[i] = trace.Span{Start: start, End: start.Add(time.Duration(rng.Intn(60000)) * time.Millisecond)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.UnionDuration(spans)
+	}
+}
+
+// BenchmarkSingleRun2048 measures one full 2048-task late-binding execution
+// (the heaviest single point of the evaluation).
+func BenchmarkSingleRun2048(b *testing.B) {
+	def, err := experiments.Experiment(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Run(experiments.RunSpec{Exp: def, NTasks: 2048, Rep: i})
+		if res.Err != "" {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkAblationEfficiency reports allocation consumption across
+// strategies (A9).
+func BenchmarkAblationEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationEfficiency(&buf, 256, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationStaged compares integrated vs staged enactment (A10).
+func BenchmarkAblationStaged(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.AblationStaged(&buf, benchReps, 0); err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, &buf)
+	}
+}

@@ -1,0 +1,175 @@
+// Command aimes-experiments regenerates the paper's evaluation: Table I,
+// Figures 2, 3(a-d) and 4(a-b), the raw per-run CSV, and the ablations of
+// DESIGN.md.
+//
+// Usage:
+//
+//	aimes-experiments                     # everything, default repetitions
+//	aimes-experiments -reps 24 -fig2      # just Figure 2, more repetitions
+//	aimes-experiments -fig3 3             # one Figure 3 panel
+//	aimes-experiments -ablation pilots    # one ablation
+//	aimes-experiments -csv results.csv    # raw data for external plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aimes/internal/experiments"
+)
+
+func main() {
+	var (
+		reps     = flag.Int("reps", experiments.DefaultReps, "repetitions per (experiment, size) point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		table1   = flag.Bool("table1", false, "print Table I only")
+		fig2     = flag.Bool("fig2", false, "regenerate Figure 2 only")
+		fig3     = flag.Int("fig3", 0, "regenerate one Figure 3 panel (experiment 1-4)")
+		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 only")
+		ablation = flag.String("ablation", "", "run one ablation: pilots, emergent, predict, failures, throughput, hetero, adaptive, autok, efficiency, staged")
+		csvOut   = flag.String("csv", "", "write raw per-run results as CSV to this file")
+		check    = flag.Bool("check", true, "verify the paper's shape criteria")
+	)
+	flag.Parse()
+
+	if err := run(*reps, *workers, *table1, *fig2, *fig3, *fig4, *ablation, *csvOut, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "aimes-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(reps, workers int, table1, fig2 bool, fig3 int, fig4 bool, ablation, csvOut string, check bool) error {
+	out := os.Stdout
+	switch {
+	case table1:
+		return experiments.WriteTableI(out)
+	case ablation != "":
+		return runAblation(ablation, reps, workers)
+	}
+
+	// Select the experiments actually needed.
+	var defs []experiments.Definition
+	switch {
+	case fig3 != 0:
+		d, err := experiments.Experiment(fig3)
+		if err != nil {
+			return err
+		}
+		defs = []experiments.Definition{d}
+	case fig4:
+		for _, id := range []int{1, 3} {
+			d, err := experiments.Experiment(id)
+			if err != nil {
+				return err
+			}
+			defs = append(defs, d)
+		}
+	default:
+		defs = experiments.TableI
+	}
+
+	specs := experiments.Matrix(defs, experiments.Sizes, reps)
+	fmt.Fprintf(os.Stderr, "running %d simulations (%d experiment(s) × %d sizes × %d reps)...\n",
+		len(specs), len(defs), len(experiments.Sizes), reps)
+	start := time.Now()
+	results := experiments.RunAll(specs, workers)
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "run failed (exp %d, n %d, rep %d): %s\n", r.Exp, r.NTasks, r.Rep, r.Err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d runs failed", failed, len(results))
+	}
+
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "raw results written to %s\n", csvOut)
+	}
+
+	agg := experiments.Aggregate(results)
+	switch {
+	case fig2:
+		if err := experiments.WriteFigure2(out, agg); err != nil {
+			return err
+		}
+	case fig3 != 0:
+		if err := experiments.WriteFigure3(out, agg, fig3); err != nil {
+			return err
+		}
+	case fig4:
+		if err := experiments.WriteFigure4(out, agg); err != nil {
+			return err
+		}
+	default:
+		if err := experiments.WriteTableI(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := experiments.WriteFigure2(out, agg); err != nil {
+			return err
+		}
+		for exp := 1; exp <= 4; exp++ {
+			fmt.Fprintln(out)
+			if err := experiments.WriteFigure3(out, agg, exp); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(out)
+		if err := experiments.WriteFigure4(out, agg); err != nil {
+			return err
+		}
+	}
+
+	if check && !fig4 && fig3 == 0 {
+		if violations := experiments.CheckShape(agg); len(violations) > 0 {
+			fmt.Fprintln(os.Stderr, "shape check FAILED:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, " -", v)
+			}
+			return fmt.Errorf("%d shape violation(s)", len(violations))
+		}
+		fmt.Fprintln(os.Stderr, "shape check passed: late binding wins, Tw dominates, Ts minor, early variance high")
+	}
+	return nil
+}
+
+func runAblation(name string, reps, workers int) error {
+	out := os.Stdout
+	switch name {
+	case "pilots":
+		return experiments.AblationPilotCount(out, 256, reps, workers)
+	case "emergent":
+		return experiments.AblationEmergentWaits(out, 64, (reps+1)/2, workers)
+	case "predict":
+		return experiments.AblationPrediction(out, 256, reps, workers)
+	case "failures":
+		return experiments.AblationFailures(out, 128, reps, workers)
+	case "throughput":
+		return experiments.AblationThroughput(out, 256, reps, workers)
+	case "hetero":
+		return experiments.AblationHeterogeneous(out, 256, reps, workers)
+	case "adaptive":
+		return experiments.AblationAdaptive(out, 128, reps, workers)
+	case "autok":
+		return experiments.AblationAutoPilots(out, 256, reps, workers)
+	case "efficiency":
+		return experiments.AblationEfficiency(out, 256, reps, workers)
+	case "staged":
+		return experiments.AblationStaged(out, reps, workers)
+	}
+	return fmt.Errorf("unknown ablation %q", name)
+}

@@ -1,0 +1,66 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"aimes/internal/sim"
+)
+
+// Replay is a Queue whose waits come from a recorded series — trace-driven
+// simulation in the style of workload-archive studies (and of QBETS, which
+// was evaluated by replaying production queue logs). Waits are consumed in
+// order and wrap around; capacity and walltime enforcement match the other
+// Queue implementations.
+type Replay struct {
+	inner *Stochastic
+	waits []time.Duration
+	next  int
+}
+
+// NewReplay creates a trace-driven queue over the recorded waits. The series
+// must be non-empty.
+func NewReplay(eng sim.Engine, name string, nodes int, waits []time.Duration) *Replay {
+	if len(waits) == 0 {
+		panic("batch: replay queue needs at least one recorded wait")
+	}
+	for i, w := range waits {
+		if w < 0 {
+			panic(fmt.Sprintf("batch: replay wait %d is negative", i))
+		}
+	}
+	cp := make([]time.Duration, len(waits))
+	copy(cp, waits)
+	r := &Replay{waits: cp}
+	// Reuse the Stochastic machinery (capacity, walltime, cancellation,
+	// accounting) with the sampler swapped for trace consumption.
+	r.inner = newStochasticCore(eng, name, nodes, func() time.Duration {
+		w := r.waits[r.next%len(r.waits)]
+		r.next++
+		return w
+	})
+	return r
+}
+
+var _ Queue = (*Replay)(nil)
+
+// Name returns the queue name.
+func (r *Replay) Name() string { return r.inner.Name() }
+
+// Nodes returns the machine size.
+func (r *Replay) Nodes() int { return r.inner.Nodes() }
+
+// Consumed reports how many recorded waits have been used.
+func (r *Replay) Consumed() int { return r.next }
+
+// Submit implements Queue.
+func (r *Replay) Submit(j *Job) error { return r.inner.Submit(j) }
+
+// Cancel implements Queue.
+func (r *Replay) Cancel(j *Job) bool { return r.inner.Cancel(j) }
+
+// Snapshot implements Queue.
+func (r *Replay) Snapshot() Snapshot { return r.inner.Snapshot() }
+
+// WaitHistory implements Queue.
+func (r *Replay) WaitHistory() []float64 { return r.inner.WaitHistory() }

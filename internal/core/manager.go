@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aimes/internal/bundle"
+	"aimes/internal/netsim"
+	"aimes/internal/pilot"
+	"aimes/internal/saga"
+	"aimes/internal/sim"
+	"aimes/internal/skeleton"
+	"aimes/internal/trace"
+)
+
+// Manager is the Execution Manager: it gathers application information via
+// the skeleton API and resource information via the bundle API, derives an
+// execution strategy, and enacts it through the pilot layer (§III-D,
+// Figure 1 steps 1–6).
+type Manager struct {
+	eng     sim.Engine
+	bundle  *bundle.Bundle
+	session *saga.Session
+	links   pilot.LinkResolver
+	cfg     pilot.Config
+	rec     *trace.Recorder
+	rng     *rand.Rand
+}
+
+// NewManager wires an execution manager. The recorder may be nil, in which
+// case a fresh one is created per execution.
+func NewManager(eng sim.Engine, b *bundle.Bundle, session *saga.Session,
+	links pilot.LinkResolver, cfg pilot.Config, rec *trace.Recorder, rng *rand.Rand) *Manager {
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	return &Manager{eng: eng, bundle: b, session: session, links: links,
+		cfg: cfg, rec: rec, rng: rng}
+}
+
+// Recorder exposes the shared trace recorder.
+func (m *Manager) Recorder() *trace.Recorder { return m.rec }
+
+// Execution is an in-flight enactment handle.
+type Execution struct {
+	m           *Manager
+	workload    *skeleton.Workload
+	strategy    Strategy
+	pm          *pilot.PilotManager
+	um          *pilot.UnitManager
+	started     sim.Time
+	ended       sim.Time
+	done        bool
+	extraPilots int
+	onDone      []func(*Report)
+	report      *Report
+}
+
+// Strategy returns the enacted strategy.
+func (e *Execution) Strategy() Strategy { return e.strategy }
+
+// Done reports whether the execution has completed.
+func (e *Execution) Done() bool { return e.done }
+
+// Report returns the final report, or nil while running.
+func (e *Execution) Report() *Report { return e.report }
+
+// OnComplete registers a callback fired once with the final report.
+func (e *Execution) OnComplete(fn func(*Report)) {
+	if e.done {
+		fn(e.report)
+		return
+	}
+	e.onDone = append(e.onDone, fn)
+}
+
+// Execute enacts a strategy for a workload: pilots are described and
+// submitted in randomized order (step 4–5), units are scheduled onto them
+// (step 6), outputs are staged back, and all pilots are canceled when the
+// workload completes. It returns immediately; completion is observed via
+// OnComplete or by running the engine (see ExecuteAndWait).
+func (m *Manager) Execute(w *skeleton.Workload, s Strategy) (*Execution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if w.TotalTasks() == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	e := &Execution{m: m, workload: w, strategy: s, started: m.eng.Now()}
+	m.rec.Record(m.eng.Now(), "em", "ENACTING", s.String())
+
+	sys := pilot.NewSystem(m.eng, m.session, m.links, m.rec, m.cfg, m.rng)
+	e.pm = pilot.NewPilotManager(sys)
+	e.um = pilot.NewUnitManager(sys, s.Scheduler.build())
+
+	// Randomize pilot submission order to decorrelate from resource order,
+	// as the paper's experiments did.
+	order := make([]string, len(s.Resources))
+	copy(order, s.Resources)
+	if m.rng != nil {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	for _, resource := range order {
+		p, err := e.pm.Submit(pilot.PilotDescription{
+			Resource: resource,
+			Cores:    s.PilotCores,
+			Walltime: s.PilotWalltime,
+		})
+		if err != nil {
+			e.pm.CancelAll()
+			return nil, fmt.Errorf("core: submitting pilot to %s: %w", resource, err)
+		}
+		e.um.AddPilot(p)
+	}
+
+	descs := unitDescriptions(w)
+	e.um.OnCompletion(func() { e.finish() })
+	if err := e.um.Submit(descs); err != nil {
+		e.pm.CancelAll()
+		return nil, err
+	}
+	return e, nil
+}
+
+// finish cancels pilots, assembles the report and fires callbacks.
+func (e *Execution) finish() {
+	e.pm.CancelAll()
+	e.ended = e.m.eng.Now()
+	e.done = true
+	e.m.rec.Record(e.ended, "em", "DONE", "")
+	e.report = buildReport(e)
+	for _, fn := range e.onDone {
+		fn(e.report)
+	}
+	e.onDone = nil
+}
+
+// ExecuteAndWait is the synchronous convenience for discrete-event engines:
+// it enacts the strategy and steps the simulation until the workload
+// completes. Stepping (rather than draining) lets periodic components such
+// as bundle monitors keep running without blocking completion.
+func (m *Manager) ExecuteAndWait(eng *sim.Sim, w *skeleton.Workload, s Strategy) (*Report, error) {
+	e, err := m.Execute(w, s)
+	if err != nil {
+		return nil, err
+	}
+	for !e.done && eng.Step() {
+	}
+	if !e.done {
+		return nil, fmt.Errorf("core: simulation drained but workload incomplete (%d/%d units final)",
+			countFinal(e.um), len(e.um.Units()))
+	}
+	return e.report, nil
+}
+
+func countFinal(um *pilot.UnitManager) int {
+	n := 0
+	for _, u := range um.Units() {
+		if u.State().Final() {
+			n++
+		}
+	}
+	return n
+}
+
+// unitDescriptions converts skeleton tasks to compute-unit descriptions.
+func unitDescriptions(w *skeleton.Workload) []pilot.UnitDescription {
+	descs := make([]pilot.UnitDescription, 0, len(w.Tasks))
+	for _, t := range w.Tasks {
+		inputs := make([]pilot.InputFile, 0, len(t.Inputs))
+		for _, f := range t.Inputs {
+			inputs = append(inputs, pilot.InputFile{Bytes: f.Bytes, Producer: f.Producer})
+		}
+		descs = append(descs, pilot.UnitDescription{
+			Name:        t.ID,
+			Cores:       t.Cores,
+			Duration:    t.Duration,
+			Inputs:      inputs,
+			OutputBytes: t.OutputBytes(),
+			Deps:        t.Deps,
+		})
+	}
+	return descs
+}
+
+// DeriveAndExecute is the full Execution Manager pipeline (Figure 1): gather
+// information, derive the strategy, enact it, and wait for completion.
+func (m *Manager) DeriveAndExecute(eng *sim.Sim, w *skeleton.Workload, cfg StrategyConfig) (*Report, error) {
+	s, err := Derive(w, m.bundle, cfg, m.rng)
+	if err != nil {
+		return nil, err
+	}
+	return m.ExecuteAndWait(eng, w, s)
+}
+
+// Links builds a LinkResolver over a name→link map, a convenience for
+// callers assembling managers by hand.
+func Links(links map[string]*netsim.Link) pilot.LinkResolver {
+	return func(resource string) *netsim.Link { return links[resource] }
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aimes/internal/sim"
+	"aimes/internal/skeleton"
+)
+
+// ExecuteStaged runs a multistage workload one stage at a time, re-deriving
+// the execution strategy before each stage from the bundle's current state —
+// the paper's §V direction of decomposing (Swift) workflows "to adapt to
+// resource availability and capabilities". Between stages, observed pilot
+// queue waits are fed back into the bundle's predictive history, so later
+// stages benefit from what earlier stages learned about the resources.
+//
+// The aggregate report sums per-stage TTCs (stages serialize by definition)
+// and merges component times and counters; Strategy records the last stage's
+// strategy.
+func (m *Manager) ExecuteStaged(eng *sim.Sim, w *skeleton.Workload, cfg StrategyConfig) (*Report, []*Report, error) {
+	if len(w.Stages) == 0 {
+		return nil, nil, fmt.Errorf("core: workload has no stages")
+	}
+	var stageReports []*Report
+	total := &Report{PilotWaits: make(map[string]time.Duration)}
+
+	for _, stage := range w.Stages {
+		sub := stageWorkload(w, stage)
+		if sub.TotalTasks() == 0 {
+			continue
+		}
+		s, err := Derive(sub, m.bundle, cfg, m.rng)
+		if err != nil {
+			return nil, stageReports, fmt.Errorf("core: stage %q: %w", stage, err)
+		}
+		report, err := m.ExecuteAndWait(eng, sub, s)
+		if err != nil {
+			return nil, stageReports, fmt.Errorf("core: stage %q: %w", stage, err)
+		}
+		stageReports = append(stageReports, report)
+
+		// Feed observed pilot waits back into bundle history so the next
+		// stage's derivation sees fresher forecasts.
+		for pilotID, wait := range report.PilotWaits {
+			if r := m.bundle.Resource(resourceOf(pilotID)); r != nil {
+				r.ObserveWait(wait.Seconds())
+			}
+		}
+
+		total.TTC += report.TTC
+		total.Tw += report.Tw
+		total.Tx += report.Tx
+		total.Ts += report.Ts
+		total.UnitsDone += report.UnitsDone
+		total.UnitsFailed += report.UnitsFailed
+		total.UnitsCanceled += report.UnitsCanceled
+		total.TotalRestarts += report.TotalRestarts
+		total.PilotsActivated += report.PilotsActivated
+		total.CoreHours += report.CoreHours
+		total.BusyCoreHours += report.BusyCoreHours
+		total.Strategy = report.Strategy
+		for id, wait := range report.PilotWaits {
+			total.PilotWaits[id] = wait
+		}
+	}
+	if total.CoreHours > 0 {
+		total.Efficiency = total.BusyCoreHours / total.CoreHours
+	}
+	if total.TTC > 0 {
+		total.Throughput = float64(total.UnitsDone) / total.TTC.Hours()
+	}
+	return total, stageReports, nil
+}
+
+// stageWorkload extracts one stage as a standalone workload. Cross-stage
+// inputs become external files of the same size: the previous stage's
+// outputs were staged back to the origin when it completed, so the next
+// stage stages them out again — the conservative decomposition cost the
+// paper's integrated (single-enactment) mode avoids.
+func stageWorkload(w *skeleton.Workload, stage string) *skeleton.Workload {
+	sub := &skeleton.Workload{Name: w.Name + "." + stage, Stages: []string{stage}}
+	for _, t := range w.StageTasks(stage) {
+		t.Deps = nil
+		inputs := make([]skeleton.File, len(t.Inputs))
+		for i, f := range t.Inputs {
+			f.Producer = "" // re-staged from origin
+			inputs[i] = f
+		}
+		t.Inputs = inputs
+		sub.Tasks = append(sub.Tasks, t)
+	}
+	return sub
+}
+
+// resourceOf extracts the resource name from a pilot ID "pilot.<name>.<n>".
+func resourceOf(pilotID string) string {
+	const prefix = "pilot."
+	if len(pilotID) <= len(prefix) {
+		return pilotID
+	}
+	rest := pilotID[len(prefix):]
+	for i := len(rest) - 1; i >= 0; i-- {
+		if rest[i] == '.' {
+			return rest[:i]
+		}
+	}
+	return rest
+}

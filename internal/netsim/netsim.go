@@ -1,0 +1,265 @@
+// Package netsim models wide-area data movement for task staging: each
+// simulated resource has a WAN link of fixed capacity, concurrent transfers
+// share it max-min fairly (fluid-flow model), and every transfer pays a fixed
+// per-file latency. This produces the paper's Ts component: staging time that
+// grows roughly linearly with the number of tasks, with concurrency limited
+// by link capacity rather than by task count.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"aimes/internal/sim"
+)
+
+// Link is a shared network link with a fixed capacity. All active transfers
+// receive an equal share of the bandwidth; shares are recomputed whenever a
+// transfer starts or finishes (progressive filling with a single bottleneck).
+type Link struct {
+	eng       sim.Engine
+	name      string
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+	maxActive int // 0 = unlimited
+
+	active     []*Transfer
+	pending    []*Transfer
+	lastUpdate sim.Time
+
+	totalBytes     float64
+	completedCount int
+}
+
+// NewLink creates a link. Bandwidth is in bytes/second; latency is the fixed
+// per-transfer setup cost (connection establishment, metadata round trips).
+func NewLink(eng sim.Engine, name string, bandwidth float64, latency time.Duration) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q bandwidth %g must be positive", name, bandwidth))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("netsim: link %q negative latency %v", name, latency))
+	}
+	return &Link{
+		eng:        eng,
+		name:       name,
+		bandwidth:  bandwidth,
+		latency:    latency,
+		lastUpdate: eng.Now(),
+	}
+}
+
+// SetMaxConcurrent bounds the number of simultaneously flowing transfers;
+// additional transfers queue FIFO. Real staging tools (GridFTP, scp fan-out)
+// run a bounded stream pool; the bound also keeps fluid-model rescheduling
+// cheap with thousands of files. Zero means unlimited.
+func (l *Link) SetMaxConcurrent(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative concurrency bound %d", n))
+	}
+	l.maxActive = n
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the configured capacity in bytes/second.
+func (l *Link) Bandwidth() float64 { return l.bandwidth }
+
+// Latency returns the fixed per-transfer setup latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// Active reports the number of transfers currently moving bytes.
+func (l *Link) Active() int { return len(l.active) }
+
+// Pending reports the number of transfers queued behind the concurrency
+// bound.
+func (l *Link) Pending() int { return len(l.pending) }
+
+// Completed reports how many transfers have finished.
+func (l *Link) Completed() int { return l.completedCount }
+
+// TotalBytes reports the cumulative payload moved over the link.
+func (l *Link) TotalBytes() float64 { return l.totalBytes }
+
+// Estimate returns the transfer time for size bytes if the link were
+// otherwise idle — the "order of magnitude" estimate the paper's bundle
+// query interface exposes for file transfers.
+func (l *Link) Estimate(size int64) time.Duration {
+	return l.latency + time.Duration(float64(size)/l.bandwidth*float64(time.Second))
+}
+
+// Transfer is one in-flight data movement.
+type Transfer struct {
+	link      *Link
+	size      int64
+	remaining float64
+	started   sim.Time
+	ended     sim.Time
+	onDone    func()
+	canceled  bool
+	latEvent  *sim.Event
+	doneEvent *sim.Event
+}
+
+// Size returns the transfer payload in bytes.
+func (t *Transfer) Size() int64 { return t.size }
+
+// Started returns when bytes began to flow (after latency); zero until then.
+func (t *Transfer) Started() sim.Time { return t.started }
+
+// Ended returns the completion time; zero until done.
+func (t *Transfer) Ended() sim.Time { return t.ended }
+
+// Start begins a transfer of size bytes. onDone fires when the last byte
+// arrives. Zero-size transfers still pay the link latency.
+func (l *Link) Start(size int64, onDone func()) *Transfer {
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer size %d", size))
+	}
+	t := &Transfer{link: l, size: size, remaining: float64(size), onDone: onDone}
+	t.latEvent = l.eng.Schedule(l.latency, func() {
+		t.latEvent = nil
+		if l.maxActive > 0 && len(l.active) >= l.maxActive {
+			l.pending = append(l.pending, t)
+			return
+		}
+		l.admit(t)
+	})
+	return t
+}
+
+// admit starts moving a transfer's bytes.
+func (l *Link) admit(t *Transfer) {
+	l.settle()
+	t.started = l.eng.Now()
+	l.active = append(l.active, t)
+	l.reschedule()
+}
+
+// admitPending fills freed slots from the FIFO queue.
+func (l *Link) admitPending() {
+	for len(l.pending) > 0 && (l.maxActive == 0 || len(l.active) < l.maxActive) {
+		t := l.pending[0]
+		l.pending = l.pending[1:]
+		l.admit(t)
+	}
+}
+
+// Cancel aborts a transfer; its onDone never fires. It reports whether the
+// transfer was still pending or active.
+func (l *Link) Cancel(t *Transfer) bool {
+	if t == nil || t.canceled || t.ended != 0 {
+		return false
+	}
+	t.canceled = true
+	if t.latEvent != nil {
+		l.eng.Cancel(t.latEvent)
+		t.latEvent = nil
+		return true
+	}
+	for i, p := range l.pending {
+		if p == t {
+			l.pending = append(l.pending[:i], l.pending[i+1:]...)
+			return true
+		}
+	}
+	for i, a := range l.active {
+		if a == t {
+			l.settle()
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			if t.doneEvent != nil {
+				l.eng.Cancel(t.doneEvent)
+				t.doneEvent = nil
+			}
+			l.reschedule()
+			l.admitPending()
+			return true
+		}
+	}
+	return false
+}
+
+// settle advances all active transfers' remaining byte counts to Now at the
+// current fair-share rate.
+func (l *Link) settle() {
+	now := l.eng.Now()
+	if now == l.lastUpdate || len(l.active) == 0 {
+		l.lastUpdate = now
+		return
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	dt := now.Sub(l.lastUpdate).Seconds()
+	for _, t := range l.active {
+		t.remaining -= rate * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+	l.lastUpdate = now
+}
+
+// reschedule recomputes each active transfer's completion event for the new
+// fair-share rate.
+func (l *Link) reschedule() {
+	l.lastUpdate = l.eng.Now()
+	if len(l.active) == 0 {
+		return
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	for _, t := range l.active {
+		if t.doneEvent != nil {
+			l.eng.Cancel(t.doneEvent)
+		}
+		eta := time.Duration(t.remaining / rate * float64(time.Second))
+		tt := t
+		t.doneEvent = l.eng.Schedule(eta, func() {
+			tt.doneEvent = nil
+			l.finish(tt)
+		})
+	}
+}
+
+func (l *Link) finish(t *Transfer) {
+	l.settle()
+	for i, a := range l.active {
+		if a == t {
+			l.active = append(l.active[:i], l.active[i+1:]...)
+			break
+		}
+	}
+	t.ended = l.eng.Now()
+	t.remaining = 0
+	l.totalBytes += float64(t.size)
+	l.completedCount++
+	l.reschedule()
+	l.admitPending()
+	if t.onDone != nil {
+		t.onDone()
+	}
+}
+
+// Network is a named collection of links, one per site plus one for the user
+// origin, resolved by name.
+type Network struct {
+	eng   sim.Engine
+	links map[string]*Link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(eng sim.Engine) *Network {
+	return &Network{eng: eng, links: make(map[string]*Link)}
+}
+
+// AddLink creates and registers a link. It panics on duplicate names.
+func (n *Network) AddLink(name string, bandwidth float64, latency time.Duration) *Link {
+	if _, dup := n.links[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := NewLink(n.eng, name, bandwidth, latency)
+	n.links[name] = l
+	return l
+}
+
+// Link returns the named link, or nil.
+func (n *Network) Link(name string) *Link { return n.links[name] }

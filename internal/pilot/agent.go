@@ -1,0 +1,172 @@
+package pilot
+
+import (
+	"sort"
+	"time"
+
+	"aimes/internal/sim"
+)
+
+// agent executes units on an active pilot's cores. Its dispatcher is
+// serialized with a per-unit overhead (Config.AgentDispatchOverhead),
+// reproducing the launch-rate limits of real pilot agents: with thousands of
+// units the stagger becomes visible as the steepening Tx gradient in the
+// paper's Figure 3.
+type agent struct {
+	sys   *System
+	pilot *Pilot
+
+	cores int
+	used  int
+
+	backlog     []*Unit
+	dispatching bool
+	dispatchEv  *sim.Event
+	execEvents  map[*Unit]*sim.Event
+	down        bool
+}
+
+func newAgent(sys *System, p *Pilot) *agent {
+	a := &agent{
+		sys:        sys,
+		pilot:      p,
+		cores:      p.desc.Cores,
+		execEvents: make(map[*Unit]*sim.Event),
+	}
+	return a
+}
+
+func (a *agent) freeCores() int { return a.cores - a.used }
+
+// enqueue hands a staged unit to the agent.
+func (a *agent) enqueue(u *Unit) {
+	if a.down {
+		return
+	}
+	a.backlog = append(a.backlog, u)
+	a.kick()
+}
+
+// kick starts the dispatcher if idle.
+func (a *agent) kick() {
+	if a.down || a.dispatching {
+		return
+	}
+	u := a.pickNext()
+	if u == nil {
+		return
+	}
+	a.dispatching = true
+	a.dispatchEv = a.sys.eng.Schedule(a.sys.cfg.AgentDispatchOverhead, func() {
+		a.dispatchEv = nil
+		a.dispatching = false
+		if a.down || u.state != UnitAgentQueued {
+			a.kick()
+			return
+		}
+		a.launch(u)
+		a.kick()
+	})
+}
+
+// pickNext removes and returns the first backlog unit that fits the free
+// cores (in-agent backfill over the unit queue).
+func (a *agent) pickNext() *Unit {
+	for i, u := range a.backlog {
+		if u.state != UnitAgentQueued {
+			// Canceled or rescheduled elsewhere; drop lazily.
+			a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
+			return a.pickNext()
+		}
+		if u.desc.Cores <= a.freeCores() {
+			a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
+			return u
+		}
+	}
+	return nil
+}
+
+// launch begins executing a unit.
+func (a *agent) launch(u *Unit) {
+	a.used += u.desc.Cores
+	u.transition(UnitExecuting, "")
+
+	duration := u.desc.Duration
+	fails := false
+	if a.sys.cfg.UnitFailureProb > 0 && a.sys.rng.Float64() < a.sys.cfg.UnitFailureProb {
+		failAt := time.Duration(a.sys.rng.Float64() * float64(duration))
+		if failAt < duration {
+			duration = failAt
+			fails = true
+		}
+	}
+	unit := u
+	a.execEvents[u] = a.sys.eng.Schedule(duration, func() {
+		delete(a.execEvents, unit)
+		a.used -= unit.desc.Cores
+		if fails {
+			a.failed(unit)
+		} else {
+			a.completed(unit)
+		}
+		a.kick()
+	})
+}
+
+// completed moves a unit to output staging after successful execution.
+func (a *agent) completed(u *Unit) {
+	u.pilotCommitRelease()
+	u.stageOutput()
+	u.um.capacityFreed()
+}
+
+// failed restarts a unit (up to its restart budget) or fails it.
+func (a *agent) failed(u *Unit) {
+	u.attempts++
+	max := u.desc.MaxRestarts
+	if max == 0 {
+		max = a.sys.cfg.DefaultMaxRestarts
+	}
+	if u.attempts <= max {
+		// Inputs are already on the resource: requeue on this agent.
+		u.transition(UnitAgentQueued, "restart")
+		a.enqueue(u)
+		return
+	}
+	u.pilotCommitRelease()
+	u.finalize(UnitFailed, "restart budget exhausted")
+	u.um.capacityFreed()
+}
+
+// shutdown stops the agent: pending dispatch and executions are canceled and
+// affected units are returned to the unit manager for rescheduling. Units
+// already staging output are unaffected (their data has left the node).
+func (a *agent) shutdown() {
+	if a.down {
+		return
+	}
+	a.down = true
+	if a.dispatchEv != nil {
+		a.sys.eng.Cancel(a.dispatchEv)
+		a.dispatchEv = nil
+		a.dispatching = false
+	}
+	var victims []*Unit
+	for u, ev := range a.execEvents {
+		a.sys.eng.Cancel(ev)
+		a.used -= u.desc.Cores
+		victims = append(victims, u)
+	}
+	// Map iteration order is randomized; sort for deterministic replay.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	a.execEvents = make(map[*Unit]*sim.Event)
+	for _, u := range a.backlog {
+		if u.state == UnitAgentQueued {
+			victims = append(victims, u)
+		}
+	}
+	a.backlog = nil
+	for _, u := range victims {
+		u.um.returnUnit(u, "pilot "+a.pilot.id+" retired")
+	}
+}

@@ -1,0 +1,308 @@
+package saga
+
+import (
+	"fmt"
+
+	"aimes/internal/batch"
+	"aimes/internal/sim"
+	"aimes/internal/site"
+)
+
+// batchJob implements Job for the batch adaptor.
+type batchJob struct {
+	id        string
+	desc      Description
+	resource  string
+	state     State
+	detail    string
+	submitted sim.Time
+	started   sim.Time
+	ended     sim.Time
+	inner     *batch.Job
+	cb        StateCallback
+}
+
+func (j *batchJob) ID() string               { return j.id }
+func (j *batchJob) State() State             { return j.state }
+func (j *batchJob) Detail() string           { return j.detail }
+func (j *batchJob) Description() Description { return j.desc }
+func (j *batchJob) Resource() string         { return j.resource }
+func (j *batchJob) SubmittedAt() sim.Time    { return j.submitted }
+func (j *batchJob) StartedAt() sim.Time      { return j.started }
+func (j *batchJob) EndedAt() sim.Time        { return j.ended }
+
+func (j *batchJob) transition(state State, detail string) {
+	j.state = state
+	j.detail = detail
+	if j.cb != nil {
+		j.cb(j, state)
+	}
+}
+
+// BatchAdaptor submits jobs to a simulated site's batch queue, converting
+// core requests to whole nodes and charging the site's submission latency.
+// It mirrors the role of SAGA's PBS/Slurm/GSISSH adaptors.
+type BatchAdaptor struct {
+	eng  sim.Engine
+	site *site.Site
+	seq  int
+	// pendingCancel tracks jobs canceled during the submission latency
+	// window, before the batch system knows about them.
+	pendingCancel map[*batchJob]bool
+}
+
+// NewBatchAdaptor returns a Service submitting to the site's queue.
+func NewBatchAdaptor(eng sim.Engine, s *site.Site) *BatchAdaptor {
+	return &BatchAdaptor{eng: eng, site: s, pendingCancel: make(map[*batchJob]bool)}
+}
+
+var _ Service = (*BatchAdaptor)(nil)
+
+// Resource implements Service.
+func (a *BatchAdaptor) Resource() string { return a.site.Name() }
+
+// Submit implements Service.
+func (a *BatchAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := a.site.Config()
+	nodes := cfg.NodesFor(d.Cores)
+	if nodes > cfg.Nodes {
+		return nil, fmt.Errorf("saga: %s: %d cores (%d nodes) exceed machine size %d nodes",
+			cfg.Name, d.Cores, nodes, cfg.Nodes)
+	}
+	a.seq++
+	j := &batchJob{
+		id:        fmt.Sprintf("%s.%04d", cfg.Name, a.seq),
+		desc:      d,
+		resource:  cfg.Name,
+		state:     New,
+		cb:        cb,
+		submitted: a.eng.Now(),
+	}
+	// The submission latency models the client → resource-manager round
+	// trip; the job reaches the remote queue only after it elapses.
+	a.eng.Schedule(cfg.SubmitLatency, func() {
+		if a.pendingCancel[j] {
+			delete(a.pendingCancel, j)
+			j.ended = a.eng.Now()
+			j.transition(Canceled, "canceled before submission")
+			return
+		}
+		inner := &batch.Job{
+			ID:       j.id,
+			Nodes:    nodes,
+			Runtime:  d.Runtime,
+			Walltime: d.Walltime,
+		}
+		inner.OnStart = func(*batch.Job) {
+			j.started = a.eng.Now()
+			j.transition(Running, "")
+		}
+		inner.OnEnd = func(bj *batch.Job) {
+			j.ended = a.eng.Now()
+			switch bj.State {
+			case batch.JobCompleted:
+				j.transition(Done, "")
+			case batch.JobKilled:
+				j.transition(Failed, "walltime")
+			case batch.JobCanceled:
+				j.transition(Canceled, "")
+			case batch.JobFailed:
+				j.transition(Failed, "resource failure")
+			default:
+				j.transition(Failed, fmt.Sprintf("unexpected state %v", bj.State))
+			}
+		}
+		j.inner = inner
+		if err := a.site.Queue().Submit(inner); err != nil {
+			j.ended = a.eng.Now()
+			j.transition(Failed, err.Error())
+			return
+		}
+		j.transition(Pending, "")
+	})
+	return j, nil
+}
+
+// Cancel implements Service.
+func (a *BatchAdaptor) Cancel(job Job) bool {
+	j, ok := job.(*batchJob)
+	if !ok || j.state.Final() {
+		return false
+	}
+	if j.inner == nil {
+		// Still inside the submission latency window.
+		if a.pendingCancel[j] {
+			return false
+		}
+		a.pendingCancel[j] = true
+		return true
+	}
+	return a.site.Queue().Cancel(j.inner)
+}
+
+// localJob implements Job for the local adaptor.
+type localJob struct {
+	id        string
+	desc      Description
+	state     State
+	detail    string
+	submitted sim.Time
+	started   sim.Time
+	ended     sim.Time
+	cb        StateCallback
+	endEvent  *sim.Event
+	startEv   *sim.Event
+}
+
+func (j *localJob) ID() string               { return j.id }
+func (j *localJob) State() State             { return j.state }
+func (j *localJob) Detail() string           { return j.detail }
+func (j *localJob) Description() Description { return j.desc }
+func (j *localJob) Resource() string         { return "localhost" }
+func (j *localJob) SubmittedAt() sim.Time    { return j.submitted }
+func (j *localJob) StartedAt() sim.Time      { return j.started }
+func (j *localJob) EndedAt() sim.Time        { return j.ended }
+
+func (j *localJob) transition(state State, detail string) {
+	j.state = state
+	j.detail = detail
+	if j.cb != nil {
+		j.cb(j, state)
+	}
+}
+
+// LocalAdaptor executes jobs immediately on a local core pool with no queue
+// wait — SAGA's "fork" adaptor. Under a RealTime engine the delays are real,
+// which is how the examples run workloads on the user's machine.
+type LocalAdaptor struct {
+	eng         sim.Engine
+	cores       int
+	free        int
+	seq         int
+	backlog     []*localJob
+	dispatching bool
+	redispatch  bool
+}
+
+// NewLocalAdaptor returns a local executor with the given core count.
+func NewLocalAdaptor(eng sim.Engine, cores int) *LocalAdaptor {
+	if cores <= 0 {
+		panic(fmt.Sprintf("saga: local adaptor with %d cores", cores))
+	}
+	return &LocalAdaptor{eng: eng, cores: cores, free: cores}
+}
+
+var _ Service = (*LocalAdaptor)(nil)
+
+// Resource implements Service.
+func (a *LocalAdaptor) Resource() string { return "localhost" }
+
+// Submit implements Service.
+func (a *LocalAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Cores > a.cores {
+		return nil, fmt.Errorf("saga: localhost has %d cores, job wants %d", a.cores, d.Cores)
+	}
+	a.seq++
+	j := &localJob{
+		id:        fmt.Sprintf("localhost.%04d", a.seq),
+		desc:      d,
+		state:     New,
+		cb:        cb,
+		submitted: a.eng.Now(),
+	}
+	// Transition to Pending on a fresh callback so the caller sees states
+	// only after Submit returns.
+	j.startEv = a.eng.Schedule(0, func() {
+		j.startEv = nil
+		j.transition(Pending, "")
+		a.backlog = append(a.backlog, j)
+		a.dispatch()
+	})
+	return j, nil
+}
+
+// Cancel implements Service.
+func (a *LocalAdaptor) Cancel(job Job) bool {
+	j, ok := job.(*localJob)
+	if !ok || j.state.Final() {
+		return false
+	}
+	if j.startEv != nil {
+		a.eng.Cancel(j.startEv)
+		j.startEv = nil
+	}
+	if j.endEvent != nil {
+		a.eng.Cancel(j.endEvent)
+		j.endEvent = nil
+		a.free += j.desc.Cores
+	}
+	for i, b := range a.backlog {
+		if b == j {
+			a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
+			break
+		}
+	}
+	j.ended = a.eng.Now()
+	j.transition(Canceled, "")
+	a.dispatch()
+	return true
+}
+
+// dispatch starts backlogged jobs that fit the free cores. Reentrant calls
+// from callbacks collapse into a rescan by the outermost invocation.
+func (a *LocalAdaptor) dispatch() {
+	if a.dispatching {
+		a.redispatch = true
+		return
+	}
+	a.dispatching = true
+	defer func() { a.dispatching = false }()
+	for {
+		a.redispatch = false
+		a.dispatchOnce()
+		if !a.redispatch {
+			return
+		}
+	}
+}
+
+func (a *LocalAdaptor) dispatchOnce() {
+	pending := a.backlog
+	a.backlog = nil
+	var rest []*localJob
+	for _, j := range pending {
+		if j.state != Pending {
+			continue // canceled during this scan
+		}
+		if j.desc.Cores > a.free {
+			rest = append(rest, j)
+			continue
+		}
+		a.free -= j.desc.Cores
+		j.started = a.eng.Now()
+		j.transition(Running, "")
+		hold := j.desc.Runtime
+		final := Done
+		detail := ""
+		if j.desc.Runtime > j.desc.Walltime {
+			hold = j.desc.Walltime
+			final = Failed
+			detail = "walltime"
+		}
+		job := j
+		j.endEvent = a.eng.Schedule(hold, func() {
+			job.endEvent = nil
+			a.free += job.desc.Cores
+			job.ended = a.eng.Now()
+			job.transition(final, detail)
+			a.dispatch()
+		})
+	}
+	a.backlog = append(rest, a.backlog...)
+}

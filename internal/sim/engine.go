@@ -1,0 +1,332 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the simulated execution substrate of this repository.
+//
+// All middleware components (pilot managers, agents, bundle agents, data
+// stagers) are written against the Engine interface so that the same code can
+// run either in deterministic virtual time (DES, used by the experiment
+// harness and benchmarks) or in real wall-clock time (used by the examples
+// that execute tasks locally).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Seconds reports t as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts t to a time.Duration offset from the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string {
+	return fmt.Sprintf("T+%.3fs", t.Seconds())
+}
+
+// Forever is a Time beyond any reachable simulation horizon.
+const Forever = Time(math.MaxInt64)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// When reports the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine schedules callbacks in (virtual or real) time. Implementations
+// guarantee that callbacks never run concurrently with each other, so
+// components built on an Engine need no internal locking for state that is
+// only touched from callbacks.
+type Engine interface {
+	// Now returns the current time.
+	Now() Time
+	// Schedule arranges for fn to run at delay from Now. A negative delay is
+	// treated as zero. The returned Event may be passed to Cancel.
+	Schedule(delay time.Duration, fn func()) *Event
+	// At arranges for fn to run at the absolute time t. If t is in the past
+	// it runs as soon as possible.
+	At(t Time, fn func()) *Event
+	// Cancel prevents a pending event from firing. Canceling a fired or
+	// already-canceled event is a no-op. Cancel reports whether the event was
+	// pending.
+	Cancel(ev *Event) bool
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Sim is the deterministic discrete-event Engine. It is not safe for
+// concurrent use: a single goroutine owns a Sim, and all scheduled callbacks
+// run on that goroutine inside Run/Step.
+type Sim struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// NewSim returns an empty simulation positioned at the epoch.
+func NewSim() *Sim { return &Sim{} }
+
+var _ Engine = (*Sim)(nil)
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending reports the number of queued (not yet fired, not canceled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired reports the number of callbacks executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Schedule implements Engine.
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now.Add(delay), fn)
+}
+
+// At implements Engine.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Cancel implements Engine.
+func (s *Sim) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&s.queue, ev.index)
+		ev.index = -1
+		return true
+	}
+	return false
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.when > s.now {
+			s.now = ev.when
+		}
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. It returns the final virtual time.
+func (s *Sim) Run() Time {
+	s.runGuard()
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events up to and including time limit. Events scheduled
+// after limit stay queued; the clock is left at min(limit, last fired event).
+func (s *Sim) RunUntil(limit Time) Time {
+	s.runGuard()
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.when > limit {
+			break
+		}
+		s.Step()
+	}
+	if s.now < limit && len(s.queue) == 0 {
+		// Clock does not advance past the last event when idle.
+		return s.now
+	}
+	return s.now
+}
+
+func (s *Sim) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+func (s *Sim) runGuard() {
+	if s.running {
+		panic("sim: Run called reentrantly from a callback")
+	}
+	s.running = true
+}
+
+// RealTime is an Engine that schedules callbacks on wall-clock timers.
+// Callbacks are serialized by a dedicated run mutex (never held while the
+// engine's own state lock is held), so a callback may freely call Schedule,
+// At and Cancel without deadlocking.
+type RealTime struct {
+	state  sync.Mutex // guards seq and timers
+	run    sync.Mutex // serializes user callbacks
+	start  time.Time
+	seq    uint64
+	wg     sync.WaitGroup
+	timers map[*Event]*time.Timer
+}
+
+// NewRealTime returns a real-time engine whose epoch is the current instant.
+func NewRealTime() *RealTime {
+	return &RealTime{start: time.Now(), timers: make(map[*Event]*time.Timer)}
+}
+
+var _ Engine = (*RealTime)(nil)
+
+// Now returns the elapsed wall-clock time since the engine was created.
+func (r *RealTime) Now() Time { return Time(time.Since(r.start)) }
+
+// Schedule implements Engine using time.AfterFunc.
+func (r *RealTime) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	r.state.Lock()
+	defer r.state.Unlock()
+	ev := &Event{when: r.Now().Add(delay), seq: r.seq, index: -1}
+	r.seq++
+	r.wg.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer r.wg.Done()
+		r.run.Lock()
+		defer r.run.Unlock()
+		r.state.Lock()
+		canceled := ev.canceled
+		delete(r.timers, ev)
+		r.state.Unlock()
+		if canceled {
+			return
+		}
+		fn()
+	})
+	r.timers[ev] = timer
+	return ev
+}
+
+// At implements Engine.
+func (r *RealTime) At(t Time, fn func()) *Event {
+	return r.Schedule(t.Sub(r.Now()), fn)
+}
+
+// Cancel implements Engine.
+func (r *RealTime) Cancel(ev *Event) bool {
+	if ev == nil {
+		return false
+	}
+	r.state.Lock()
+	defer r.state.Unlock()
+	if ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	timer, ok := r.timers[ev]
+	if !ok {
+		return false // already fired
+	}
+	delete(r.timers, ev)
+	if timer.Stop() {
+		// The AfterFunc will never run; release its Wait slot here.
+		r.wg.Done()
+	}
+	return true
+}
+
+// Wait blocks until all pending timers have fired or been canceled. It is
+// intended for orderly shutdown in examples and tests.
+func (r *RealTime) Wait() { r.wg.Wait() }

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestSimFiresInOrder(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != Time(3*time.Second) {
+		t.Fatalf("final time %v, want 3s", s.Now())
+	}
+}
+
+func TestSimTieBreaksBySchedulingOrder(t *testing.T) {
+	s := NewSim()
+	var got []string
+	s.Schedule(time.Second, func() { got = append(got, "a") })
+	s.Schedule(time.Second, func() { got = append(got, "b") })
+	s.Schedule(time.Second, func() { got = append(got, "c") })
+	s.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order %v, want [a b c]", got)
+	}
+}
+
+func TestSimNegativeDelayClampsToNow(t *testing.T) {
+	s := NewSim()
+	fired := Time(-1)
+	s.Schedule(5*time.Second, func() {
+		s.Schedule(-10*time.Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != Time(5*time.Second) {
+		t.Fatalf("negative delay fired at %v, want 5s", fired)
+	}
+}
+
+func TestSimAtInPastClampsToNow(t *testing.T) {
+	s := NewSim()
+	fired := Time(-1)
+	s.Schedule(5*time.Second, func() {
+		s.At(Time(time.Second), func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != Time(5*time.Second) {
+		t.Fatalf("past At fired at %v, want 5s", fired)
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	ev := s.Schedule(time.Second, func() { fired = true })
+	if !s.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestSimCancelFromCallback(t *testing.T) {
+	s := NewSim()
+	fired := false
+	var ev *Event
+	ev = s.Schedule(2*time.Second, func() { fired = true })
+	s.Schedule(time.Second, func() { s.Cancel(ev) })
+	s.Run()
+	if fired {
+		t.Fatal("event canceled from callback still fired")
+	}
+}
+
+func TestSimScheduleFromCallback(t *testing.T) {
+	s := NewSim()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			s.Schedule(time.Second, recurse)
+		}
+	}
+	s.Schedule(0, recurse)
+	s.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if s.Now() != Time(4*time.Second) {
+		t.Fatalf("final time %v, want 4s", s.Now())
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		s.Schedule(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(Time(3 * time.Second))
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events after Run, want 5", len(fired))
+	}
+}
+
+func TestSimRunReentrantPanics(t *testing.T) {
+	s := NewSim()
+	s.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		s.Run()
+	})
+	s.Run()
+}
+
+func TestSimFiredCounter(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := s.Schedule(time.Second, func() {})
+	s.Cancel(ev)
+	s.Run()
+	if s.Fired() != 10 {
+		t.Fatalf("Fired() = %d, want 10", s.Fired())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the final clock equals the maximum delay.
+func TestSimOrderProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		s := NewSim()
+		var fired []Time
+		var max time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return len(raw) == 0 || s.Now() == Time(max)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the complement to fire.
+func TestSimCancelProperty(t *testing.T) {
+	prop := func(n uint8, seed int64) bool {
+		s := NewSim()
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		events := make([]*Event, count)
+		firedCount := 0
+		for i := 0; i < count; i++ {
+			events[i] = s.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond,
+				func() { firedCount++ })
+		}
+		canceled := 0
+		for _, ev := range events {
+			if rng.Intn(2) == 0 {
+				if s.Cancel(ev) {
+					canceled++
+				}
+			}
+		}
+		s.Run()
+		return firedCount == count-canceled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(10 * time.Second)
+	b := a.Add(5 * time.Second)
+	if b != Time(15*time.Second) {
+		t.Fatalf("Add: got %v", b)
+	}
+	if b.Sub(a) != 5*time.Second {
+		t.Fatalf("Sub: got %v", b.Sub(a))
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if a.Seconds() != 10 {
+		t.Fatalf("Seconds: got %v", a.Seconds())
+	}
+	if a.String() != "T+10.000s" {
+		t.Fatalf("String: got %q", a.String())
+	}
+}
+
+func TestRealTimeFiresAndCancels(t *testing.T) {
+	r := NewRealTime()
+	var mu sync.Mutex
+	fired := 0
+	r.Schedule(time.Millisecond, func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	ev := r.Schedule(50*time.Millisecond, func() {
+		mu.Lock()
+		fired += 100
+		mu.Unlock()
+	})
+	time.Sleep(5 * time.Millisecond)
+	r.Cancel(ev)
+	r.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestRealTimeSerializesCallbacks(t *testing.T) {
+	r := NewRealTime()
+	inside := 0
+	maxInside := 0
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		r.Schedule(time.Millisecond, func() {
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			inside--
+			mu.Unlock()
+		})
+	}
+	r.Wait()
+	if maxInside != 1 {
+		t.Fatalf("observed %d concurrent callbacks, want 1", maxInside)
+	}
+}
+
+func TestRealTimeNowAdvances(t *testing.T) {
+	r := NewRealTime()
+	t0 := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	if !r.Now().After(t0) {
+		t.Fatal("Now did not advance")
+	}
+}
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a := NewRNG(42).Stream("queue")
+	b := NewRNG(42).Stream("queue")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, stream) produced different sequences")
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Stream("alpha")
+	b := root.Stream("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams alpha/beta collided %d/100 times", same)
+	}
+}
+
+func TestRNGChildNamespaces(t *testing.T) {
+	root := NewRNG(7)
+	c1 := root.Child("rep-1").Stream("x")
+	c2 := root.Child("rep-2").Stream("x")
+	if c1.Int63() == c2.Int63() && c1.Int63() == c2.Int63() {
+		t.Fatal("child namespaces are not independent")
+	}
+	d1 := NewRNG(7).Child("rep-1").Stream("x")
+	d2 := NewRNG(7).Child("rep-1").Stream("x")
+	for i := 0; i < 10; i++ {
+		if d1.Int63() != d2.Int63() {
+			t.Fatal("child namespace not deterministic")
+		}
+	}
+}

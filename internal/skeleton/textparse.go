@@ -1,0 +1,211 @@
+package skeleton
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads the skeleton tool's flat configuration format: key = value
+// lines grouped into stages, mirroring the original Application Skeleton
+// tool's config files. Example:
+//
+//	name = iterative-mapreduce
+//
+//	stage = map
+//	tasks = 16
+//	duration = truncnormal 120 30 30 300
+//	input = constant 4194304
+//	output = constant 1048576
+//
+//	stage = reduce
+//	tasks = 4
+//	inputs_from = gather
+//	duration = constant 90
+//	output = constant 262144
+//
+//	iterate = map reduce
+//	iterations = 3
+//
+// Scalar specs are "<dist> <params...>":
+//
+//	constant V | uniform MIN MAX | normal MEAN STDEV |
+//	truncnormal MEAN STDEV MIN MAX | lognormal MEDIAN SIGMA |
+//	linear OF COEFF OFFSET
+//
+// A bare number is shorthand for constant. '#' starts a comment.
+func ParseText(r io.Reader) (AppSpec, error) {
+	var app AppSpec
+	var cur *StageSpec
+	var iterStages []string
+	iterCount := 0
+
+	flush := func() {
+		if cur != nil {
+			app.Stages = append(app.Stages, *cur)
+			cur = nil
+		}
+	}
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return AppSpec{}, fmt.Errorf("skeleton: line %d: expected 'key = value', got %q", lineNo, line)
+		}
+		key = strings.TrimSpace(strings.ToLower(key))
+		value = strings.TrimSpace(value)
+
+		var err error
+		switch key {
+		case "name":
+			if cur != nil {
+				cur.Name = value
+			} else {
+				app.Name = value
+			}
+		case "stage":
+			flush()
+			cur = &StageSpec{Name: value}
+		case "tasks":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.Tasks, err = strconv.Atoi(value)
+		case "cores":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.CoresPerTask, err = strconv.Atoi(value)
+		case "duration":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.DurationS, err = parseSpecText(value)
+		case "input":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.InputBytes, err = parseSpecText(value)
+		case "output":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.OutputBytes, err = parseSpecText(value)
+		case "inputs_from":
+			if cur == nil {
+				return AppSpec{}, keyOutsideStage(lineNo, key)
+			}
+			cur.Inputs = Mapping(value)
+		case "iterate":
+			iterStages = strings.Fields(value)
+		case "iterations":
+			iterCount, err = strconv.Atoi(value)
+		default:
+			return AppSpec{}, fmt.Errorf("skeleton: line %d: unknown key %q", lineNo, key)
+		}
+		if err != nil {
+			return AppSpec{}, fmt.Errorf("skeleton: line %d: %s: %w", lineNo, key, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return AppSpec{}, fmt.Errorf("skeleton: reading config: %w", err)
+	}
+	flush()
+
+	if len(iterStages) > 0 || iterCount > 0 {
+		if len(iterStages) == 0 || iterCount == 0 {
+			return AppSpec{}, fmt.Errorf("skeleton: iterate and iterations must both be set")
+		}
+		app.Iterations = []IterationSpec{{Stages: iterStages, Count: iterCount}}
+	}
+	if err := app.Validate(); err != nil {
+		return AppSpec{}, err
+	}
+	return app, nil
+}
+
+func keyOutsideStage(line int, key string) error {
+	return fmt.Errorf("skeleton: line %d: %q outside a stage", line, key)
+}
+
+// parseSpecText parses the "<dist> <params...>" scalar syntax.
+func parseSpecText(s string) (Spec, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("empty spec")
+	}
+	// Bare number shorthand for constant.
+	if v, err := strconv.ParseFloat(fields[0], 64); err == nil && len(fields) == 1 {
+		return Constant(v), nil
+	}
+	nums := func(n int) ([]float64, error) {
+		if len(fields)-1 != n {
+			return nil, fmt.Errorf("%s wants %d parameters, got %d", fields[0], n, len(fields)-1)
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter %d of %s: %w", i+1, fields[0], err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch fields[0] {
+	case "constant":
+		p, err := nums(1)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Constant(p[0]), nil
+	case "uniform":
+		p, err := nums(2)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Uniform(p[0], p[1]), nil
+	case "normal":
+		p, err := nums(2)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Spec{Dist: "normal", Mean: p[0], Stdev: p[1]}, nil
+	case "truncnormal":
+		p, err := nums(4)
+		if err != nil {
+			return Spec{}, err
+		}
+		return TruncNormal(p[0], p[1], p[2], p[3]), nil
+	case "lognormal":
+		p, err := nums(2)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Spec{Dist: "lognormal", Median: p[0], Sigma: p[1]}, nil
+	case "linear":
+		if len(fields) != 4 {
+			return Spec{}, fmt.Errorf("linear wants: linear OF COEFF OFFSET")
+		}
+		coeff, err1 := strconv.ParseFloat(fields[2], 64)
+		offset, err2 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil {
+			return Spec{}, fmt.Errorf("linear parameters must be numbers")
+		}
+		return LinearOf(fields[1], coeff, offset), nil
+	}
+	return Spec{}, fmt.Errorf("unknown distribution %q", fields[0])
+}

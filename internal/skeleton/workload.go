@@ -1,0 +1,342 @@
+package skeleton
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// File is one data product moved between the origin and task sandboxes.
+type File struct {
+	// Name is unique within the workload.
+	Name string
+	// Bytes is the payload size.
+	Bytes int64
+	// Producer is the task ID that writes the file, or "" for external
+	// inputs staged from the user's origin.
+	Producer string
+}
+
+// External reports whether the file is staged from the origin.
+func (f File) External() bool { return f.Producer == "" }
+
+// Task is one concrete, executable task: it reads its inputs, computes for
+// Duration (the skeleton executable sleeps), and writes its outputs.
+type Task struct {
+	// ID is unique within the workload, e.g. "stage-0.00042".
+	ID string
+	// Stage names the generating stage.
+	Stage string
+	// Index is the task's position within its stage.
+	Index int
+	// Cores is the core requirement (1 in the paper's experiments).
+	Cores int
+	// Duration is the compute time.
+	Duration time.Duration
+	// Inputs and Outputs are the task's files.
+	Inputs  []File
+	Outputs []File
+	// Deps lists producer task IDs that must complete first.
+	Deps []string
+}
+
+// InputBytes totals the task's input payload.
+func (t Task) InputBytes() int64 {
+	var n int64
+	for _, f := range t.Inputs {
+		n += f.Bytes
+	}
+	return n
+}
+
+// OutputBytes totals the task's output payload.
+func (t Task) OutputBytes() int64 {
+	var n int64
+	for _, f := range t.Outputs {
+		n += f.Bytes
+	}
+	return n
+}
+
+// Workload is a fully generated skeleton application: concrete tasks with
+// durations, files and dependencies. Workloads are deterministic for a fixed
+// (AppSpec, seed) pair, making experiments reproducible.
+type Workload struct {
+	Name   string
+	Stages []string
+	Tasks  []Task
+}
+
+// TotalTasks returns the task count.
+func (w *Workload) TotalTasks() int { return len(w.Tasks) }
+
+// TotalCores returns the peak core demand if all tasks ran concurrently.
+func (w *Workload) TotalCores() int {
+	n := 0
+	for _, t := range w.Tasks {
+		n += t.Cores
+	}
+	return n
+}
+
+// TotalDuration sums all task durations (serial compute time).
+func (w *Workload) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, t := range w.Tasks {
+		d += t.Duration
+	}
+	return d
+}
+
+// MaxDuration returns the longest task duration.
+func (w *Workload) MaxDuration() time.Duration {
+	var d time.Duration
+	for _, t := range w.Tasks {
+		if t.Duration > d {
+			d = t.Duration
+		}
+	}
+	return d
+}
+
+// MeanDuration returns the mean task duration.
+func (w *Workload) MeanDuration() time.Duration {
+	if len(w.Tasks) == 0 {
+		return 0
+	}
+	return w.TotalDuration() / time.Duration(len(w.Tasks))
+}
+
+// ExternalInputBytes totals the payload staged in from the origin.
+func (w *Workload) ExternalInputBytes() int64 {
+	var n int64
+	for _, t := range w.Tasks {
+		for _, f := range t.Inputs {
+			if f.External() {
+				n += f.Bytes
+			}
+		}
+	}
+	return n
+}
+
+// OutputBytes totals the payload staged back to the origin (final outputs).
+func (w *Workload) OutputBytes() int64 {
+	var n int64
+	for _, t := range w.Tasks {
+		n += t.OutputBytes()
+	}
+	return n
+}
+
+// StageTasks returns the tasks of one stage, in index order.
+func (w *Workload) StageTasks(stage string) []Task {
+	var out []Task
+	for _, t := range w.Tasks {
+		if t.Stage == stage {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Generate materializes the application with the given seed. Identical
+// (spec, seed) pairs yield identical workloads.
+func Generate(app AppSpec, seed int64) (*Workload, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stages := app.expandIterations()
+	w := &Workload{Name: app.Name}
+	var prev []Task // previous stage's tasks
+
+	for si, st := range stages {
+		w.Stages = append(w.Stages, st.Name)
+		cores := st.CoresPerTask
+		if cores == 0 {
+			cores = 1
+		}
+		durDist := st.DurationS.dist()
+		outDist := st.OutputBytes.dist()
+		inDist := st.InputBytes.dist()
+
+		cur := make([]Task, st.Tasks)
+		for i := range cur {
+			id := fmt.Sprintf("%s.%05d", st.Name, i)
+			task := Task{ID: id, Stage: st.Name, Index: i, Cores: cores}
+
+			// Inputs per the stage mapping.
+			switch st.Inputs {
+			case MapExternal:
+				size := sampleSize(st.InputBytes, inDist, rng, 0, 0)
+				task.Inputs = []File{{Name: id + ".in", Bytes: size}}
+			case MapOneToOne:
+				p := prev[i%len(prev)]
+				task.Inputs = inherit(p)
+				task.Deps = []string{p.ID}
+			case MapAllToAll:
+				for _, p := range prev {
+					task.Inputs = append(task.Inputs, inherit(p)...)
+					task.Deps = append(task.Deps, p.ID)
+				}
+			case MapGather:
+				// Partition predecessors evenly across this stage's tasks.
+				lo := i * len(prev) / st.Tasks
+				hi := (i + 1) * len(prev) / st.Tasks
+				for _, p := range prev[lo:hi] {
+					task.Inputs = append(task.Inputs, inherit(p)...)
+					task.Deps = append(task.Deps, p.ID)
+				}
+			case MapScatter:
+				// Each predecessor feeds a contiguous block of tasks.
+				p := prev[i*len(prev)/st.Tasks]
+				task.Inputs = inherit(p)
+				task.Deps = []string{p.ID}
+			}
+			if si > 0 && st.Inputs != MapExternal && len(prev) == 0 {
+				return nil, fmt.Errorf("skeleton: stage %q maps inputs but has no predecessor", st.Name)
+			}
+
+			// Duration: distributions sample directly; linear specs see the
+			// input size.
+			inBytes := task.InputBytes()
+			durS := sampleSize(st.DurationS, durDist, rng, float64(inBytes), 0)
+			if durS < 0 {
+				durS = 0
+			}
+			task.Duration = time.Duration(float64(durS) * float64(time.Second))
+
+			// Outputs: default one file; linear specs may see input size or
+			// duration.
+			if !st.OutputBytes.Zero() {
+				size := sampleSize(st.OutputBytes, outDist, rng,
+					float64(inBytes), task.Duration.Seconds())
+				task.Outputs = []File{{Name: id + ".out", Bytes: size, Producer: id}}
+			}
+			cur[i] = task
+		}
+		w.Tasks = append(w.Tasks, cur...)
+		prev = cur
+	}
+	return w, nil
+}
+
+// inherit converts a producer's outputs into consumer inputs.
+func inherit(p Task) []File {
+	files := make([]File, len(p.Outputs))
+	copy(files, p.Outputs)
+	return files
+}
+
+// sampleSize evaluates a spec: distribution specs sample (returns int64-ish
+// float), linear specs evaluate against the provided context.
+func sampleSize(spec Spec, d interface{ Sample(*rand.Rand) float64 }, rng *rand.Rand, inputBytes, durationS float64) int64 {
+	if spec.Dist == "linear" {
+		var of float64
+		switch spec.Of {
+		case "input_bytes":
+			of = inputBytes
+		case "duration_s":
+			of = durationS
+		}
+		v := spec.Coeff*of + spec.Offset
+		if v < 0 {
+			v = 0
+		}
+		return int64(v)
+	}
+	if d == nil {
+		return 0
+	}
+	v := d.Sample(rng)
+	if v < 0 {
+		v = 0
+	}
+	return int64(v)
+}
+
+// WriteShell emits the workload as a sequential shell script, the original
+// tool's "shell commands executed in sequential order on a single machine"
+// output mode. Task executables copy inputs, sleep for the duration, and
+// write outputs.
+func (w *Workload) WriteShell(out io.Writer) error {
+	var b strings.Builder
+	b.WriteString("#!/bin/sh\n")
+	fmt.Fprintf(&b, "# skeleton application %q: %d tasks in %d stages\n",
+		w.Name, len(w.Tasks), len(w.Stages))
+	b.WriteString("set -e\nmkdir -p input output\n")
+	for _, t := range w.Tasks {
+		for _, f := range t.Inputs {
+			if f.External() {
+				fmt.Fprintf(&b, "head -c %d /dev/zero > input/%s\n", f.Bytes, f.Name)
+			}
+		}
+	}
+	for _, t := range w.Tasks {
+		fmt.Fprintf(&b, "# task %s (stage %s)\n", t.ID, t.Stage)
+		fmt.Fprintf(&b, "sleep %.3f", t.Duration.Seconds())
+		for _, f := range t.Outputs {
+			fmt.Fprintf(&b, " && head -c %d /dev/zero > output/%s", f.Bytes, f.Name)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// WriteDOT emits the task dependency DAG in Graphviz format, analogous to
+// the original tool's Pegasus DAG output mode.
+func (w *Workload) WriteDOT(out io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", w.Name)
+	for _, t := range w.Tasks {
+		fmt.Fprintf(&b, "  %q [label=%q];\n", t.ID,
+			fmt.Sprintf("%s\\n%.0fs", t.ID, t.Duration.Seconds()))
+	}
+	for _, t := range w.Tasks {
+		for _, dep := range t.Deps {
+			fmt.Fprintf(&b, "  %q -> %q;\n", dep, t.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// WriteJSON emits the concrete workload as JSON, the original tool's "JSON
+// structure to be used by a middleware designed to read it" output mode.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"name\": %q,\n  \"tasks\": [\n", w.Name)
+	for i, t := range w.Tasks {
+		fmt.Fprintf(&b, "    {\"id\": %q, \"stage\": %q, \"cores\": %d, \"duration_s\": %.3f, \"input_bytes\": %d, \"output_bytes\": %d, \"deps\": [",
+			t.ID, t.Stage, t.Cores, t.Duration.Seconds(), t.InputBytes(), t.OutputBytes())
+		for k, d := range t.Deps {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q", d)
+		}
+		b.WriteString("]}")
+		if i < len(w.Tasks)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  ]\n}\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// Summary returns a one-line description for logs and CLI output.
+func (w *Workload) Summary() string {
+	return fmt.Sprintf("%s: %d tasks, %d stages, mean task %.0fs, %.1f MB in / %.1f KB out",
+		w.Name, len(w.Tasks), len(w.Stages), w.MeanDuration().Seconds(),
+		float64(w.ExternalInputBytes())/(1<<20), float64(w.OutputBytes())/(1<<10))
+}

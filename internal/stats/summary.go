@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates observations and reports descriptive statistics. The
+// zero value is ready to use.
+type Summary struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) { s.values = append(s.values, v) }
+
+// AddAll records a batch of observations.
+func (s *Summary) AddAll(vs []float64) { s.values = append(s.values, vs...) }
+
+// N reports the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Values returns a copy of the recorded observations.
+func (s *Summary) Values() []float64 {
+	cp := make([]float64, len(s.values))
+	copy(cp, s.values)
+	return cp
+}
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the sample standard deviation (n-1 denominator); it returns 0
+// for fewer than two observations.
+func (s *Summary) Std() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.values)-1))
+}
+
+// SEM returns the standard error of the mean (Std/sqrt(n)).
+func (s *Summary) SEM() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(len(s.values)))
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Median returns the 50th percentile, or NaN when empty.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// Percentile returns the p-th percentile (0..100) with linear interpolation.
+func (s *Summary) Percentile(p float64) float64 {
+	return Quantile(s.values, p/100)
+}
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f med=%.2f max=%.2f",
+		s.N(), s.Mean(), s.Std(), s.Min(), s.Median(), s.Max())
+}
+
+// Histogram is a fixed-width-bin histogram over [Low, High). Values outside
+// the range land in saturating edge bins.
+type Histogram struct {
+	Low, High float64
+	Counts    []uint64
+	total     uint64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [low, high). It panics on a non-positive bin count or inverted range.
+func NewHistogram(low, high float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: non-positive bin count %d", bins))
+	}
+	if high <= low {
+		panic(fmt.Sprintf("stats: inverted histogram range [%g, %g)", low, high))
+	}
+	return &Histogram{Low: low, High: high, Counts: make([]uint64, bins)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	idx := int(float64(len(h.Counts)) * (v - h.Low) / (h.High - h.Low))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total reports the number of recorded values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.High - h.Low) / float64(len(h.Counts))
+	return h.Low + w*(float64(i)+0.5)
+}
+
+// Mode returns the center of the most populated bin, or NaN when empty.
+func (h *Histogram) Mode() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm) for
+// contexts where storing all observations would be wasteful, such as
+// per-resource utilization history in bundle agents.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N reports the observation count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean, or NaN when empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running sample variance, or 0 for n < 2.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// MeanStd computes the mean and sample standard deviation of values in one
+// pass without allocation.
+func MeanStd(values []float64) (mean, std float64) {
+	var w Welford
+	for _, v := range values {
+		w.Add(v)
+	}
+	if w.n == 0 {
+		return math.NaN(), 0
+	}
+	return w.Mean(), w.Std()
+}
+
+// Sorted returns a sorted copy of values.
+func Sorted(values []float64) []float64 {
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	sort.Float64s(cp)
+	return cp
+}

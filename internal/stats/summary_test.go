@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty summary should report NaN")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %g, want 5", s.Mean())
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+	if s.Median() != 4.5 {
+		t.Fatalf("Median = %g, want 4.5", s.Median())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %g, want 40", s.Sum())
+	}
+	if s.SEM() <= 0 {
+		t.Fatal("SEM should be positive")
+	}
+}
+
+func TestSummaryValuesCopy(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	vs := s.Values()
+	vs[0] = 99
+	if s.Mean() != 1 {
+		t.Fatal("Values returned a live reference")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // saturates low bin
+	h.Add(50) // saturates high bin
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatalf("edge bins = %d/%d, want 2/2", h.Counts[0], h.Counts[9])
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Fatalf("BinCenter(0) = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if !math.IsNaN(h.Mode()) {
+		t.Fatal("empty histogram mode should be NaN")
+	}
+	h.Add(3.2)
+	h.Add(3.4)
+	h.Add(7.1)
+	if got := h.Mode(); got != 3.5 {
+		t.Fatalf("Mode = %g, want 3.5", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWelfordMatchesSummary(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var w Welford
+	var s Summary
+	for _, v := range vals {
+		w.Add(v)
+		s.Add(v)
+	}
+	if math.Abs(w.Mean()-s.Mean()) > 1e-12 {
+		t.Fatalf("Welford mean %g vs summary %g", w.Mean(), s.Mean())
+	}
+	if math.Abs(w.Std()-s.Std()) > 1e-12 {
+		t.Fatalf("Welford std %g vs summary %g", w.Std(), s.Std())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) {
+		t.Fatal("empty Welford mean should be NaN")
+	}
+	if w.Variance() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford variance should be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{1, 2, 3})
+	if mean != 2 {
+		t.Fatalf("mean %g, want 2", mean)
+	}
+	if math.Abs(std-1) > 1e-12 {
+		t.Fatalf("std %g, want 1", std)
+	}
+	mean, std = MeanStd(nil)
+	if !math.IsNaN(mean) || std != 0 {
+		t.Fatal("empty MeanStd should be (NaN, 0)")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("Sorted = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("Sorted mutated input")
+	}
+}
+
+// Property: Welford agrees with the two-pass Summary computation.
+func TestWelfordProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		var s Summary
+		for _, r := range raw {
+			v := float64(r)
+			w.Add(v)
+			s.Add(v)
+		}
+		if math.Abs(w.Mean()-s.Mean()) > 1e-6 {
+			return false
+		}
+		return math.Abs(w.Std()-s.Std()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min <= percentile(p) <= max for any p, and mean within [min, max].
+func TestSummaryBoundsProperty(t *testing.T) {
+	prop := func(raw []int16, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		pct := s.Percentile(float64(p % 101))
+		return pct >= s.Min() && pct <= s.Max() &&
+			s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
