@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench scenarios ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Validate and run every example scenario.
+scenarios: build
+	@for f in examples/scenarios/*.json; do \
+		$(GO) run ./cmd/aimes-scenario validate $$f || exit 1; \
+	done
+	$(GO) run ./cmd/aimes-scenario run examples/scenarios/outage.json
+
+ci: vet race

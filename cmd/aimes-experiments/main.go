@@ -28,7 +28,7 @@ func main() {
 		fig2     = flag.Bool("fig2", false, "regenerate Figure 2 only")
 		fig3     = flag.Int("fig3", 0, "regenerate one Figure 3 panel (experiment 1-4)")
 		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 only")
-		ablation = flag.String("ablation", "", "run one ablation: pilots, emergent, predict, failures, throughput, hetero, adaptive, autok, efficiency, staged")
+		ablation = flag.String("ablation", "", "run one ablation: pilots, emergent, predict, failures, throughput, hetero, adaptive, autok, efficiency, staged, outages")
 		csvOut   = flag.String("csv", "", "write raw per-run results as CSV to this file")
 		check    = flag.Bool("check", true, "verify the paper's shape criteria")
 	)
@@ -170,6 +170,8 @@ func runAblation(name string, reps, workers int) error {
 		return experiments.AblationEfficiency(out, 256, reps, workers)
 	case "staged":
 		return experiments.AblationStaged(out, reps, workers)
+	case "outages":
+		return experiments.AblationOutages(out, 128, reps, workers)
 	}
 	return fmt.Errorf("unknown ablation %q", name)
 }

@@ -1,0 +1,140 @@
+// Command aimes-scenario runs declarative dynamics scenarios against the
+// simulated AIMES stack: a scenario file names a workload, an execution
+// strategy, a testbed, and a timeline of injected resource events (outages,
+// recoveries, queue surges, pilot preemptions, WAN degradation).
+//
+// Usage:
+//
+//	aimes-scenario run examples/scenarios/outage.json [-v] [-seed N] [-trace out.csv]
+//	aimes-scenario validate examples/scenarios/outage.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aimes/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = runCmd(args)
+	case "validate":
+		err = validateCmd(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "aimes-scenario: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aimes-scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  aimes-scenario run <scenario.json> [-v] [-seed N] [-trace out.csv]
+  aimes-scenario validate <scenario.json>
+
+run      executes the scenario and prints the instrumented report
+validate parses and checks the scenario file without running it`)
+}
+
+// parseWithFile parses flags that may appear before or after the single
+// scenario-file argument (the stdlib flag package stops at the first
+// positional otherwise).
+func parseWithFile(fs *flag.FlagSet, cmd string, args []string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return "", fmt.Errorf("%s: want a scenario file", cmd)
+	}
+	path := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 0 {
+		return "", fmt.Errorf("%s: want exactly one scenario file", cmd)
+	}
+	return path, nil
+}
+
+func load(path string) (*scenario.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.Parse(f)
+}
+
+func validateCmd(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	path, err := parseWithFile(fs, "validate", args)
+	if err != nil {
+		return err
+	}
+	s, err := load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid (%d tasks, %s binding, %d event(s))\n",
+		s.Name, s.Workload.Tasks, s.Strategy.Binding, len(s.Events))
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		verbose  = fs.Bool("v", false, "print the derived strategy before the report")
+		seed     = fs.Int64("seed", 0, "override the scenario seed")
+		traceOut = fs.String("trace", "", "write the full state trace as CSV to this file")
+	)
+	path, err := parseWithFile(fs, "run", args)
+	if err != nil {
+		return err
+	}
+	s, err := load(path)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	res, err := scenario.Run(s)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Printf("derived: %s\n", res.Strategy)
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Recorder.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d records written to %s\n", res.Recorder.Len(), *traceOut)
+	}
+	return nil
+}

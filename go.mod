@@ -1,0 +1,3 @@
+module aimes
+
+go 1.24

@@ -82,6 +82,8 @@ type Stochastic struct {
 	historyLen  int
 	draining    bool
 	redrain     bool
+	offline     bool
+	waitScale   float64 // surge factor for future samples; 0 or 1 = nominal
 
 	created      sim.Time
 	lastEvent    sim.Time
@@ -156,6 +158,9 @@ func (q *Stochastic) Submit(j *Job) error {
 		wait = q.sampler()
 	} else {
 		wait = q.model.SampleWait(q.rng, j.Nodes, q.nodes)
+	}
+	if q.waitScale > 0 && q.waitScale != 1 {
+		wait = time.Duration(float64(wait) * q.waitScale)
 	}
 	job := j
 	q.queued[j] = q.eng.Schedule(wait, func() {
@@ -233,8 +238,12 @@ func (q *Stochastic) WaitHistory() []float64 {
 
 // drain starts waiting jobs for which capacity is available, in order. A
 // guard collapses reentrant calls from job callbacks into a rescan by the
-// outermost invocation.
+// outermost invocation. An offline queue holds waiting jobs without starting
+// them.
 func (q *Stochastic) drain() {
+	if q.offline {
+		return
+	}
 	if q.draining {
 		q.redrain = true
 		return

@@ -35,6 +35,7 @@ type System struct {
 	free    int
 	queue   []*Job
 	running []*Job
+	offline bool
 
 	dispatching bool
 	redispatch  bool
@@ -172,8 +173,12 @@ func (s *System) StartedJobs() int { return s.startedJobs }
 func (s *System) FinishedJobs() int { return s.finishedJobs }
 
 // dispatch runs the policy and starts selected jobs. It tolerates reentrant
-// calls from job callbacks by deferring to the outermost invocation.
+// calls from job callbacks by deferring to the outermost invocation. An
+// offline system queues submissions without starting anything.
 func (s *System) dispatch() {
+	if s.offline {
+		return
+	}
 	if s.dispatching {
 		s.redispatch = true
 		return

@@ -24,6 +24,13 @@ type AdaptiveConfig struct {
 	Patience time.Duration
 	// MaxExtraPilots bounds the number of adaptation rounds (default 2).
 	MaxExtraPilots int
+	// ReplaceLostPilots replans when a resource dies mid-run: a pilot that
+	// ends PilotFailed (outage, preemption) is replaced by a fresh pilot on
+	// the best unused feasible resource, keeping the strategy's concurrency.
+	ReplaceLostPilots bool
+	// MaxReplacements bounds replacement rounds (default 2; only meaningful
+	// with ReplaceLostPilots).
+	MaxReplacements int
 }
 
 // Validate reports a descriptive error for malformed configurations.
@@ -33,6 +40,9 @@ func (c AdaptiveConfig) Validate() error {
 	}
 	if c.MaxExtraPilots < 0 {
 		return fmt.Errorf("core: negative extra-pilot budget %d", c.MaxExtraPilots)
+	}
+	if c.MaxReplacements < 0 {
+		return fmt.Errorf("core: negative replacement budget %d", c.MaxReplacements)
 	}
 	return nil
 }
@@ -52,7 +62,47 @@ func (m *Manager) ExecuteAdaptive(w *skeleton.Workload, s Strategy, acfg Adaptiv
 		return nil, err
 	}
 	e.scheduleAdaptation(acfg, acfg.MaxExtraPilots)
+	if acfg.ReplaceLostPilots {
+		if acfg.MaxReplacements == 0 {
+			acfg.MaxReplacements = 2
+		}
+		e.replaceBudget = acfg.MaxReplacements
+		e.watchForLoss = true
+		for _, p := range e.pm.Pilots() {
+			e.watchPilot(p)
+		}
+	}
 	return e, nil
+}
+
+// watchPilot arms lost-pilot replacement for one pilot. Replacement fires on
+// PilotFailed only: Done and Canceled are orderly retirements that must not
+// trigger replanning (CancelAll at completion would otherwise spawn pilots).
+func (e *Execution) watchPilot(p *pilot.Pilot) {
+	e.m.eng.Schedule(0, func() {
+		// Deferred a tick so a pilot that fails synchronously during Submit
+		// does not replan before Execute returns.
+		p.OnState(func(p *pilot.Pilot) { e.pilotLost(p) })
+		if p.State() == pilot.PilotFailed {
+			e.pilotLost(p)
+		}
+	})
+}
+
+func (e *Execution) pilotLost(p *pilot.Pilot) {
+	if e.done || !e.watchForLoss || p.State() != pilot.PilotFailed {
+		return
+	}
+	if e.replaceBudget <= 0 {
+		return
+	}
+	e.replaceBudget--
+	if e.addPilot() {
+		e.extraPilots++
+		e.m.rec.Record(e.m.eng.Now(), "em", "REPLANNED", "replaced lost "+p.ID())
+	} else {
+		e.m.rec.Record(e.m.eng.Now(), "em", "REPLAN_FAILED", "no resource left for "+p.ID())
+	}
 }
 
 // scheduleAdaptation arms the watchdog for the next adaptation round.
@@ -127,6 +177,9 @@ func (e *Execution) addPilot() bool {
 		return false
 	}
 	e.um.AddPilot(p)
+	if e.watchForLoss {
+		e.watchPilot(p)
+	}
 	e.m.rec.Record(e.m.eng.Now(), "em", "ADAPTED", "extra pilot on "+target)
 	return true
 }

@@ -54,6 +54,10 @@ type Execution struct {
 	extraPilots int
 	onDone      []func(*Report)
 	report      *Report
+
+	// Lost-pilot replanning (AdaptiveConfig.ReplaceLostPilots).
+	watchForLoss  bool
+	replaceBudget int
 }
 
 // Strategy returns the enacted strategy.
@@ -72,6 +76,28 @@ func (e *Execution) OnComplete(fn func(*Report)) {
 		return
 	}
 	e.onDone = append(e.onDone, fn)
+}
+
+// Pilots returns the execution's pilots (initial and adaptation-added) in
+// submission order.
+func (e *Execution) Pilots() []*pilot.Pilot { return e.pm.Pilots() }
+
+// Units returns the execution's managed units in submission order.
+func (e *Execution) Units() []*pilot.Unit { return e.um.Units() }
+
+// PreemptPilot preempts one non-final pilot on the named resource, as when
+// the resource manager reclaims the allocation mid-run. Units the pilot held
+// return to the unit manager for rescheduling on surviving pilots (or a
+// replacement, with ReplaceLostPilots). It reports whether a pilot was
+// preempted.
+func (e *Execution) PreemptPilot(resource, reason string) bool {
+	for _, p := range e.pm.Pilots() {
+		if p.Resource() == resource && !p.State().Final() {
+			e.pm.Preempt(p, reason)
+			return true
+		}
+	}
+	return false
 }
 
 // Execute enacts a strategy for a workload: pilots are described and

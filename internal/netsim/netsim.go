@@ -60,6 +60,21 @@ func (l *Link) SetMaxConcurrent(n int) {
 	l.maxActive = n
 }
 
+// SetBandwidth changes the link capacity mid-run — WAN degradation or
+// recovery injected by the scenario engine. In-flight transfers are settled
+// at the old rate up to now, then rescheduled at the new fair share.
+func (l *Link) SetBandwidth(bandwidth float64) {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q bandwidth %g must be positive", l.name, bandwidth))
+	}
+	if bandwidth == l.bandwidth {
+		return
+	}
+	l.settle()
+	l.bandwidth = bandwidth
+	l.reschedule()
+}
+
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
 

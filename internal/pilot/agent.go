@@ -139,9 +139,10 @@ func (a *agent) failed(u *Unit) {
 }
 
 // shutdown stops the agent: pending dispatch and executions are canceled and
-// affected units are returned to the unit manager for rescheduling. Units
-// already staging output are unaffected (their data has left the node).
-func (a *agent) shutdown() {
+// affected units are returned to the unit manager for rescheduling, tagged
+// with the shutdown cause. Units already staging output are unaffected
+// (their data has left the node).
+func (a *agent) shutdown(cause string) {
 	if a.down {
 		return
 	}
@@ -167,6 +168,6 @@ func (a *agent) shutdown() {
 	}
 	a.backlog = nil
 	for _, u := range victims {
-		u.um.returnUnit(u, "pilot "+a.pilot.id+" retired")
+		u.um.returnUnit(u, "pilot "+a.pilot.id+" "+cause)
 	}
 }

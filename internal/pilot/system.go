@@ -128,6 +128,13 @@ func (p *Pilot) FreeCores() int {
 	return p.agent.freeCores()
 }
 
+// OnState registers a callback fired after every subsequent state
+// transition. The execution manager uses it to watch for lost pilots and
+// replan (see core.AdaptiveConfig.ReplaceLostPilots).
+func (p *Pilot) OnState(fn func(*Pilot)) {
+	p.onState = append(p.onState, fn)
+}
+
 func (p *Pilot) transition(state PilotState, detail string) {
 	p.state = state
 	p.sys.rec.Record(p.sys.eng.Now(), p.id, state.String(), detail)
@@ -228,57 +235,64 @@ func (pm *PilotManager) onJobState(p *Pilot, _ saga.Job, st saga.State) {
 		p.transition(PilotActive, "")
 	case saga.Done:
 		if !p.state.Final() {
-			p.shutdownAgent()
+			p.shutdownAgent("retired")
 			p.transition(PilotDone, "")
 		}
 	case saga.Canceled:
 		if !p.state.Final() {
-			p.shutdownAgent()
+			p.shutdownAgent("canceled")
 			p.transition(PilotCanceled, "")
 		}
 	case saga.Failed:
 		if !p.state.Final() {
-			p.shutdownAgent()
 			if p.job != nil && p.job.Detail() == "walltime" {
 				// The resource killed the agent at walltime: a normal pilot
 				// retirement, not an application failure.
+				p.shutdownAgent("retired")
 				p.transition(PilotDone, "walltime")
 			} else {
+				p.shutdownAgent("lost")
 				p.transition(PilotFailed, p.job.Detail())
 			}
 		}
 	}
 }
 
-// retire cancels the pilot job because the agent is shutting down cleanly.
-func (pm *PilotManager) retire(p *Pilot, reason string) {
+// endPilot finalizes a pilot the application (or the resource) is taking
+// down: the agent shuts down with the given unit-return cause, the pilot
+// transitions to its terminal state FIRST — so the SAGA callback triggered by
+// the job cancellation finds it final and cannot double-fire a different
+// terminal transition — and the underlying job is canceled last.
+func (pm *PilotManager) endPilot(p *Pilot, state PilotState, detail, cause string) {
 	if p.state.Final() {
 		return
 	}
-	p.shutdownAgent()
+	p.shutdownAgent(cause)
+	p.transition(state, detail)
 	if p.job != nil {
 		if svc, err := pm.sys.session.Service(p.desc.Resource); err == nil {
 			svc.Cancel(p.job)
 		}
 	}
-	// The SAGA Canceled callback would mark the pilot Canceled; transition
-	// first so the retirement reason is preserved.
-	p.transition(PilotDone, reason)
+}
+
+// retire cancels the pilot job because the agent is shutting down cleanly.
+func (pm *PilotManager) retire(p *Pilot, reason string) {
+	pm.endPilot(p, PilotDone, reason, "retired")
 }
 
 // Cancel terminates a pilot. Units on it are returned to their unit manager
 // for rescheduling.
 func (pm *PilotManager) Cancel(p *Pilot) {
-	if p.state.Final() {
-		return
-	}
-	p.shutdownAgent()
-	if p.job != nil {
-		if svc, err := pm.sys.session.Service(p.desc.Resource); err == nil {
-			svc.Cancel(p.job)
-		}
-	}
-	p.transition(PilotCanceled, "user")
+	pm.endPilot(p, PilotCanceled, "user", "canceled")
+}
+
+// Preempt kills a pilot as the resource would: the agent dies immediately,
+// units it held return to their unit manager for rescheduling on surviving
+// pilots, and the pilot ends PilotFailed. This models allocation preemption
+// (spot reclamation, admin kill) rather than an application-initiated Cancel.
+func (pm *PilotManager) Preempt(p *Pilot, reason string) {
+	pm.endPilot(p, PilotFailed, "preempted: "+reason, "lost")
 }
 
 // CancelAll terminates every non-final pilot — the paper's "all pilots are
@@ -289,8 +303,11 @@ func (pm *PilotManager) CancelAll() {
 	}
 }
 
-func (p *Pilot) shutdownAgent() {
+// shutdownAgent stops the pilot's agent; cause ("retired", "canceled",
+// "lost") tags the returned units' trace records so consumers can tell
+// routine retirements from pilots lost to failures and preemption.
+func (p *Pilot) shutdownAgent(cause string) {
 	if p.agent != nil {
-		p.agent.shutdown()
+		p.agent.shutdown(cause)
 	}
 }

@@ -414,7 +414,33 @@ func (um *UnitManager) pilotChanged(p *Pilot) {
 		}
 		um.schedulePlace()
 	case p.State().Final():
+		um.reclaimBound(p)
 		um.schedulePlace()
+	}
+}
+
+// reclaimBound returns non-final units still bound to a dead pilot to the
+// scheduler. The agent's shutdown already returned units it knew about
+// (executing or agent-queued on an active pilot); this catches units whose
+// pilot died before activation or mid-staging — in-flight transfers to the
+// dead resource are abandoned.
+func (um *UnitManager) reclaimBound(p *Pilot) {
+	cause := "retired"
+	if p.State() == PilotFailed {
+		cause = "lost"
+	}
+	for _, u := range um.units {
+		if u.pilot != p {
+			continue
+		}
+		switch u.state {
+		case UnitStagingInput, UnitAgentQueued:
+			if u.transfer != nil {
+				um.sys.links(p.desc.Resource).Cancel(u.transfer)
+				u.transfer = nil
+			}
+			um.returnUnit(u, "pilot "+p.id+" "+cause)
+		}
 	}
 }
 

@@ -61,7 +61,8 @@ var _ Service = (*BatchAdaptor)(nil)
 // Resource implements Service.
 func (a *BatchAdaptor) Resource() string { return a.site.Name() }
 
-// Submit implements Service.
+// Submit implements Service. It is safe to call from outside engine
+// callbacks: the body runs under the engine's callback serialization.
 func (a *BatchAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -72,6 +73,12 @@ func (a *BatchAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 		return nil, fmt.Errorf("saga: %s: %d cores (%d nodes) exceed machine size %d nodes",
 			cfg.Name, d.Cores, nodes, cfg.Nodes)
 	}
+	var j *batchJob
+	sim.Locked(a.eng, func() { j = a.submit(d, cfg, nodes, cb) })
+	return j, nil
+}
+
+func (a *BatchAdaptor) submit(d Description, cfg site.Config, nodes int, cb StateCallback) *batchJob {
 	a.seq++
 	j := &batchJob{
 		id:        fmt.Sprintf("%s.%04d", cfg.Name, a.seq),
@@ -88,6 +95,13 @@ func (a *BatchAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 			delete(a.pendingCancel, j)
 			j.ended = a.eng.Now()
 			j.transition(Canceled, "canceled before submission")
+			return
+		}
+		if !a.site.Online() {
+			// The resource manager is unreachable: the submission round trip
+			// fails, as it would against a dead head node.
+			j.ended = a.eng.Now()
+			j.transition(Failed, "resource offline")
 			return
 		}
 		inner := &batch.Job{
@@ -123,24 +137,33 @@ func (a *BatchAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 		}
 		j.transition(Pending, "")
 	})
-	return j, nil
+	return j
 }
 
-// Cancel implements Service.
+// Cancel implements Service. Like Submit, the body runs under the engine's
+// callback serialization.
 func (a *BatchAdaptor) Cancel(job Job) bool {
 	j, ok := job.(*batchJob)
-	if !ok || j.state.Final() {
+	if !ok {
 		return false
 	}
-	if j.inner == nil {
-		// Still inside the submission latency window.
-		if a.pendingCancel[j] {
-			return false
+	var canceled bool
+	sim.Locked(a.eng, func() {
+		if j.state.Final() {
+			return
 		}
-		a.pendingCancel[j] = true
-		return true
-	}
-	return a.site.Queue().Cancel(j.inner)
+		if j.inner == nil {
+			// Still inside the submission latency window.
+			if a.pendingCancel[j] {
+				return
+			}
+			a.pendingCancel[j] = true
+			canceled = true
+			return
+		}
+		canceled = a.site.Queue().Cancel(j.inner)
+	})
+	return canceled
 }
 
 // localJob implements Job for the local adaptor.
@@ -200,7 +223,10 @@ var _ Service = (*LocalAdaptor)(nil)
 // Resource implements Service.
 func (a *LocalAdaptor) Resource() string { return "localhost" }
 
-// Submit implements Service.
+// Submit implements Service. Under a RealTime engine the caller's goroutine
+// races with timer callbacks (the zero-delay Pending transition can fire
+// before Submit returns), so the mutable job/backlog state is only touched
+// under the engine's callback serialization.
 func (a *LocalAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -208,50 +234,61 @@ func (a *LocalAdaptor) Submit(d Description, cb StateCallback) (Job, error) {
 	if d.Cores > a.cores {
 		return nil, fmt.Errorf("saga: localhost has %d cores, job wants %d", a.cores, d.Cores)
 	}
-	a.seq++
-	j := &localJob{
-		id:        fmt.Sprintf("localhost.%04d", a.seq),
-		desc:      d,
-		state:     New,
-		cb:        cb,
-		submitted: a.eng.Now(),
-	}
-	// Transition to Pending on a fresh callback so the caller sees states
-	// only after Submit returns.
-	j.startEv = a.eng.Schedule(0, func() {
-		j.startEv = nil
-		j.transition(Pending, "")
-		a.backlog = append(a.backlog, j)
-		a.dispatch()
+	var j *localJob
+	sim.Locked(a.eng, func() {
+		a.seq++
+		j = &localJob{
+			id:        fmt.Sprintf("localhost.%04d", a.seq),
+			desc:      d,
+			state:     New,
+			cb:        cb,
+			submitted: a.eng.Now(),
+		}
+		// Transition to Pending on a fresh callback so the caller sees states
+		// only after Submit returns.
+		j.startEv = a.eng.Schedule(0, func() {
+			j.startEv = nil
+			j.transition(Pending, "")
+			a.backlog = append(a.backlog, j)
+			a.dispatch()
+		})
 	})
 	return j, nil
 }
 
-// Cancel implements Service.
+// Cancel implements Service. The body runs under the engine's callback
+// serialization for the same reason as Submit's.
 func (a *LocalAdaptor) Cancel(job Job) bool {
 	j, ok := job.(*localJob)
-	if !ok || j.state.Final() {
+	if !ok {
 		return false
 	}
-	if j.startEv != nil {
-		a.eng.Cancel(j.startEv)
-		j.startEv = nil
-	}
-	if j.endEvent != nil {
-		a.eng.Cancel(j.endEvent)
-		j.endEvent = nil
-		a.free += j.desc.Cores
-	}
-	for i, b := range a.backlog {
-		if b == j {
-			a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
-			break
+	var canceled bool
+	sim.Locked(a.eng, func() {
+		if j.state.Final() {
+			return
 		}
-	}
-	j.ended = a.eng.Now()
-	j.transition(Canceled, "")
-	a.dispatch()
-	return true
+		if j.startEv != nil {
+			a.eng.Cancel(j.startEv)
+			j.startEv = nil
+		}
+		if j.endEvent != nil {
+			a.eng.Cancel(j.endEvent)
+			j.endEvent = nil
+			a.free += j.desc.Cores
+		}
+		for i, b := range a.backlog {
+			if b == j {
+				a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
+				break
+			}
+		}
+		j.ended = a.eng.Now()
+		j.transition(Canceled, "")
+		a.dispatch()
+		canceled = true
+	})
+	return canceled
 }
 
 // dispatch starts backlogged jobs that fit the free cores. Reentrant calls

@@ -1,0 +1,414 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"aimes/internal/batch"
+	"aimes/internal/bundle"
+	"aimes/internal/core"
+	"aimes/internal/netsim"
+	"aimes/internal/pilot"
+	"aimes/internal/saga"
+	"aimes/internal/sim"
+	"aimes/internal/site"
+	"aimes/internal/skeleton"
+	"aimes/internal/trace"
+)
+
+// emergentWarmup is how long emergent testbeds run background load before
+// enactment, matching the experiment harness.
+const emergentWarmup = 72 * time.Hour
+
+// AppliedEvent records one injected event with its (virtual) firing time,
+// relative to enactment start (warmup time on emergent testbeds excluded).
+type AppliedEvent struct {
+	At     sim.Time
+	Action Action
+	Target string
+	Detail string
+}
+
+func (a AppliedEvent) String() string {
+	return fmt.Sprintf("%s  %-12s %-10s %s", a.At, a.Action, a.Target, a.Detail)
+}
+
+// Result is the instrumented outcome of one scenario run.
+type Result struct {
+	Scenario *Scenario
+	Strategy core.Strategy
+	Report   *core.Report
+	// Applied lists events that fired before the workload completed, in
+	// firing order; events timed after completion never fire.
+	Applied []AppliedEvent
+	// Rescheduled counts unit returns caused by lost pilots: each is a unit
+	// that had been bound (or dispatched) to a pilot that died and went back
+	// to the unit scheduler.
+	Rescheduled int
+	// PilotsLost counts pilots that ended in PilotFailed.
+	PilotsLost int
+	// Recorder holds the full state trace of the run.
+	Recorder *trace.Recorder
+}
+
+// Run executes the scenario and returns the instrumented result.
+func Run(s *Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 42
+	}
+
+	eng := sim.NewSim()
+	configs, err := s.siteConfigs()
+	if err != nil {
+		return nil, err
+	}
+	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	sess := saga.NewSession()
+	for _, st := range tb.Sites() {
+		sess.Register(saga.NewBatchAdaptor(eng, st))
+	}
+	b := bundle.New(tb.Sites())
+	links := func(resource string) *netsim.Link {
+		if st := tb.Site(resource); st != nil {
+			return st.Link()
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5C3A4A10)) // "SCNR"-ish namespace
+	mgr := core.NewManager(eng, b, sess, links, pilot.DefaultConfig(), nil, rng)
+
+	if s.Testbed.BackgroundUtil > 0 {
+		eng.RunUntil(eng.Now().Add(emergentWarmup))
+	}
+
+	w, err := s.workload(seed)
+	if err != nil {
+		return nil, err
+	}
+	strategy, err := core.Derive(w, b, s.strategyConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: s, Strategy: strategy, Recorder: mgr.Recorder()}
+
+	// The timeline closes over the execution handle; events only fire while
+	// the engine steps, which happens strictly after Execute returns.
+	var exec *core.Execution
+	inj := &injector{eng: eng, tb: tb, res: res, epoch: eng.Now(),
+		exec: func() *core.Execution { return exec }}
+	for _, ev := range s.Events {
+		inj.schedule(ev)
+	}
+
+	if a := s.Strategy.Adaptive; a != nil {
+		exec, err = mgr.ExecuteAdaptive(w, strategy, a.config())
+	} else {
+		exec, err = mgr.Execute(w, strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for !exec.Done() && eng.Step() {
+	}
+	if !exec.Done() {
+		return nil, fmt.Errorf("scenario %s: simulation drained but workload incomplete (%s)",
+			s.Name, stuckSummary(exec))
+	}
+	res.Report = exec.Report()
+
+	for _, p := range exec.Pilots() {
+		if p.State() == pilot.PilotFailed {
+			res.PilotsLost++
+		}
+	}
+	// Lost-pilot unit returns show up in the trace as SCHEDULING records with
+	// detail "pilot X lost"; routine walltime retirements and application
+	// cancellations are tagged "retired"/"canceled" and are not dynamics.
+	for _, rec := range res.Recorder.Records() {
+		if strings.HasPrefix(rec.Entity, "unit.") && rec.State == "SCHEDULING" &&
+			strings.HasPrefix(rec.Detail, "pilot ") && strings.HasSuffix(rec.Detail, " lost") {
+			res.Rescheduled++
+		}
+	}
+	return res, nil
+}
+
+// stuckSummary describes an incomplete execution's pilot and unit states,
+// the context needed to diagnose a scenario that wedges the workload.
+func stuckSummary(e *core.Execution) string {
+	pilots := make(map[string]int)
+	for _, p := range e.Pilots() {
+		pilots[p.State().String()]++
+	}
+	units := make(map[string]int)
+	for _, u := range e.Units() {
+		units[u.State().String()]++
+	}
+	return fmt.Sprintf("pilots %v, units %v", pilots, units)
+}
+
+// injector applies timeline events to the live testbed and execution.
+type injector struct {
+	eng   *sim.Sim
+	tb    *site.Testbed
+	res   *Result
+	epoch sim.Time // enactment start; applied-event times are relative to it
+	exec  func() *core.Execution
+
+	surgeSeq int
+}
+
+// now is the current time relative to enactment start.
+func (in *injector) now() sim.Time { return in.eng.Now() - in.epoch }
+
+func (in *injector) schedule(ev Event) {
+	in.eng.Schedule(ev.At.Std(), func() { in.apply(ev) })
+}
+
+func (in *injector) log(ev Event, detail string) {
+	in.res.Applied = append(in.res.Applied, AppliedEvent{
+		At: in.now(), Action: ev.Action, Target: ev.Target, Detail: detail,
+	})
+}
+
+func (in *injector) apply(ev Event) {
+	st := in.tb.Site(ev.Target)
+	switch ev.Action {
+	case ActionOutage:
+		kill := ev.killRunning()
+		st.SetOffline(kill)
+		mode := "drain"
+		if kill {
+			mode = "hard, running jobs killed"
+		}
+		in.log(ev, mode)
+	case ActionRecover:
+		st.SetOnline()
+		in.log(ev, "back online")
+	case ActionPreempt:
+		reason := ev.Reason
+		if reason == "" {
+			reason = "scenario"
+		}
+		if e := in.exec(); e != nil && e.PreemptPilot(ev.Target, reason) {
+			in.log(ev, reason)
+		} else {
+			in.log(ev, "no pilot to preempt")
+		}
+	case ActionSurge:
+		in.applySurge(ev, st)
+	case ActionDegradeWAN:
+		link := st.Link()
+		nominal := st.Config().BandwidthMBps * 1e6
+		link.SetBandwidth(nominal * ev.BandwidthFactor)
+		in.log(ev, fmt.Sprintf("bandwidth ×%g", ev.BandwidthFactor))
+		if ev.Duration > 0 {
+			restore := Event{Action: ActionRestoreWAN, Target: ev.Target}
+			in.eng.Schedule(ev.Duration.Std(), func() { in.apply(restore) })
+		}
+	case ActionRestoreWAN:
+		st.Link().SetBandwidth(st.Config().BandwidthMBps * 1e6)
+		in.log(ev, "bandwidth restored")
+	}
+}
+
+// applySurge injects a background-load burst. Modeled queues scale future
+// sampled waits; emergent queues get a burst of real competing jobs.
+func (in *injector) applySurge(ev Event, st *site.Site) {
+	if st.SetWaitScale(ev.WaitFactor) {
+		in.log(ev, fmt.Sprintf("waits ×%g", ev.WaitFactor))
+		if ev.Duration > 0 {
+			in.eng.Schedule(ev.Duration.Std(), func() {
+				st.SetWaitScale(1)
+				in.res.Applied = append(in.res.Applied, AppliedEvent{
+					At: in.now(), Action: ActionSurge, Target: ev.Target, Detail: "surge ended",
+				})
+			})
+		}
+		return
+	}
+	nodes := ev.JobNodes
+	if nodes <= 0 {
+		nodes = 8
+	}
+	if max := st.Config().Nodes; nodes > max {
+		nodes = max
+	}
+	runtime := ev.JobRuntime.Std()
+	if runtime <= 0 {
+		runtime = time.Hour
+	}
+	for i := 0; i < ev.Jobs; i++ {
+		in.surgeSeq++
+		job := &batch.Job{
+			ID:       fmt.Sprintf("surge-%04d", in.surgeSeq),
+			Nodes:    nodes,
+			Runtime:  runtime,
+			Walltime: 2 * runtime,
+		}
+		if err := st.Queue().Submit(job); err != nil {
+			in.log(ev, "burst submission failed: "+err.Error())
+			return
+		}
+	}
+	in.log(ev, fmt.Sprintf("%d jobs × %d nodes", ev.Jobs, nodes))
+}
+
+// siteNames resolves the testbed's site names (for validation).
+func (s *Scenario) siteNames() ([]string, error) {
+	configs, err := s.siteConfigs()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(configs))
+	for i, c := range configs {
+		names[i] = c.Name
+	}
+	return names, nil
+}
+
+// siteConfigs builds the testbed configuration: the default five sites,
+// optionally subset/tweaked, optionally switched to emergent queues.
+func (s *Scenario) siteConfigs() ([]site.Config, error) {
+	defaults := site.DefaultTestbed()
+	byName := make(map[string]site.Config, len(defaults))
+	for _, c := range defaults {
+		byName[c.Name] = c
+	}
+	var configs []site.Config
+	if len(s.Testbed.Sites) == 0 {
+		configs = defaults
+	} else {
+		for _, spec := range s.Testbed.Sites {
+			c, ok := byName[spec.Name]
+			if !ok {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("scenario %s: unknown site %q (known: %v)", s.Name, spec.Name, known)
+			}
+			if spec.MedianWait > 0 {
+				c.WaitModel.MedianWait = spec.MedianWait.Std()
+				if c.WaitModel.MinWait > c.WaitModel.MedianWait {
+					c.WaitModel.MinWait = c.WaitModel.MedianWait / 2
+				}
+			}
+			configs = append(configs, c)
+		}
+	}
+	if s.Testbed.BackgroundUtil > 0 {
+		configs = site.EmergentTestbed(configs, s.Testbed.BackgroundUtil, batch.EASY{})
+	}
+	return configs, nil
+}
+
+// durationSpec resolves the workload duration distribution.
+func (w WorkloadSpec) durationSpec() (skeleton.Spec, error) {
+	switch w.Duration {
+	case "", "uniform":
+		return skeleton.UniformDuration(), nil
+	case "gaussian":
+		return skeleton.GaussianDuration(), nil
+	}
+	d, err := time.ParseDuration(w.Duration)
+	if err != nil || d <= 0 {
+		return skeleton.Spec{}, fmt.Errorf(
+			"scenario: workload duration %q is not uniform, gaussian, or a positive Go duration", w.Duration)
+	}
+	return skeleton.Constant(d.Seconds()), nil
+}
+
+// workload materializes the scenario's application.
+func (s *Scenario) workload(seed int64) (*skeleton.Workload, error) {
+	spec, err := s.Workload.durationSpec()
+	if err != nil {
+		return nil, err
+	}
+	return skeleton.Generate(skeleton.BagOfTasks(s.Workload.Tasks, spec), seed)
+}
+
+// strategyConfig translates the spec into derivation knobs.
+func (s *Scenario) strategyConfig() core.StrategyConfig {
+	cfg := core.StrategyConfig{Pilots: s.Strategy.Pilots}
+	if s.Strategy.Binding == "late" {
+		cfg.Binding = core.LateBinding
+		cfg.Scheduler = core.SchedBackfill
+		if cfg.Pilots == 0 {
+			cfg.Pilots = 3
+		}
+	} else {
+		cfg.Binding = core.EarlyBinding
+		cfg.Scheduler = core.SchedDirect
+		if cfg.Pilots == 0 {
+			cfg.Pilots = 1
+		}
+	}
+	if len(s.Strategy.Resources) > 0 {
+		cfg.Selection = core.SelectFixed
+		cfg.FixedResources = s.Strategy.Resources
+	} else {
+		cfg.Selection = core.SelectRandom
+	}
+	return cfg
+}
+
+// config translates the adaptive spec.
+func (a AdaptiveSpec) config() core.AdaptiveConfig {
+	cfg := core.AdaptiveConfig{
+		Patience:          a.Patience.Std(),
+		MaxExtraPilots:    a.MaxExtraPilots,
+		ReplaceLostPilots: a.ReplaceLostPilots,
+		MaxReplacements:   a.MaxReplacements,
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 15 * time.Minute
+	}
+	return cfg
+}
+
+// WriteSummary prints the scenario outcome: the applied timeline, the TTC
+// report, and the dynamics accounting.
+func (r *Result) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "scenario: %s\n", r.Scenario.Name); err != nil {
+		return err
+	}
+	if r.Scenario.Description != "" {
+		if _, err := fmt.Fprintf(w, "  %s\n", r.Scenario.Description); err != nil {
+			return err
+		}
+	}
+	if len(r.Applied) > 0 {
+		if _, err := fmt.Fprintln(w, "events applied:"); err != nil {
+			return err
+		}
+		for _, a := range r.Applied {
+			if _, err := fmt.Fprintf(w, "  %s\n", a); err != nil {
+				return err
+			}
+		}
+	} else if len(r.Scenario.Events) > 0 {
+		if _, err := fmt.Fprintln(w, "events applied: none (workload finished first)"); err != nil {
+			return err
+		}
+	}
+	if err := r.Report.WriteSummary(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "dynamics: %d pilot(s) lost, %d unit reschedule(s)\n",
+		r.PilotsLost, r.Rescheduled)
+	return err
+}

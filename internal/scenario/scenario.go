@@ -1,0 +1,309 @@
+// Package scenario is the dynamics harness of the reproduction: declarative
+// scenario files describe a workload, a testbed, and a timeline of injected
+// resource events — outages and recoveries, queue surges, pilot preemptions,
+// WAN degradation — and the engine drives them through the real execution
+// stack (execution manager, pilot layer, SAGA adaptors, batch queues). The
+// idiom follows fleet simulators such as Navarch: the scenario file is data,
+// the control-plane code under test is the production code.
+//
+// The paper's core claim is that late binding via execution strategies pays
+// off precisely when resources are dynamic; scenarios make that dynamism an
+// input instead of a hard-coded experiment.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that unmarshals from JSON either as a Go
+// duration string ("90s", "15m", "2h30m") or as a bare number of seconds.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return err
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Action names an injectable event type.
+type Action string
+
+// The injectable event types.
+const (
+	// ActionOutage takes a resource offline: its queue stops starting jobs
+	// and (with kill_running, the default) running jobs — including active
+	// pilots — die with a resource failure.
+	ActionOutage Action = "outage"
+	// ActionRecover brings a previously failed resource back online.
+	ActionRecover Action = "recover"
+	// ActionPreempt kills one active (or queued) pilot on the target
+	// resource; its units return to the unit manager for rescheduling.
+	ActionPreempt Action = "preempt-pilot"
+	// ActionSurge injects a background-load burst: modeled queues scale
+	// future sampled waits by wait_factor; emergent queues receive a burst of
+	// jobs competing jobs. With a duration, the surge reverts afterwards.
+	ActionSurge Action = "queue-surge"
+	// ActionDegradeWAN multiplies the target's WAN bandwidth by
+	// bandwidth_factor (< 1 degrades). With a duration, it reverts.
+	ActionDegradeWAN Action = "degrade-wan"
+	// ActionRestoreWAN restores the target's WAN link to its configured
+	// bandwidth.
+	ActionRestoreWAN Action = "restore-wan"
+)
+
+var knownActions = map[Action]bool{
+	ActionOutage:     true,
+	ActionRecover:    true,
+	ActionPreempt:    true,
+	ActionSurge:      true,
+	ActionDegradeWAN: true,
+	ActionRestoreWAN: true,
+}
+
+// Event is one timeline entry.
+type Event struct {
+	// At is the injection time, relative to enactment start.
+	At Duration `json:"at"`
+	// Action selects the event type.
+	Action Action `json:"action"`
+	// Target names the resource the event applies to.
+	Target string `json:"target"`
+
+	// KillRunning selects hard outages (kill running jobs, the default) vs
+	// drain-style outages (running jobs finish, nothing new starts).
+	KillRunning *bool `json:"kill_running,omitempty"`
+	// Reason annotates preemptions in the trace.
+	Reason string `json:"reason,omitempty"`
+
+	// WaitFactor scales modeled queue waits during a surge (e.g. 4.0).
+	WaitFactor float64 `json:"wait_factor,omitempty"`
+	// Jobs is the burst size for surges on emergent queues.
+	Jobs int `json:"jobs,omitempty"`
+	// JobNodes is the per-job width of an emergent surge burst (default 8).
+	JobNodes int `json:"job_nodes,omitempty"`
+	// JobRuntime is the per-job runtime of an emergent surge burst
+	// (default 1h).
+	JobRuntime Duration `json:"job_runtime,omitempty"`
+	// Duration bounds a surge or WAN degradation; zero means permanent.
+	Duration Duration `json:"duration,omitempty"`
+
+	// BandwidthFactor scales the WAN link capacity (e.g. 0.25).
+	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"`
+}
+
+// killRunning resolves the outage mode default.
+func (e Event) killRunning() bool {
+	if e.KillRunning == nil {
+		return true
+	}
+	return *e.KillRunning
+}
+
+// WorkloadSpec declares the application to execute.
+type WorkloadSpec struct {
+	// Tasks is the bag-of-tasks size.
+	Tasks int `json:"tasks"`
+	// Duration selects the task-duration distribution: "uniform" (constant
+	// 15 min, the default), "gaussian" (truncated Gaussian of Table I), or a
+	// fixed Go duration string such as "2m".
+	Duration string `json:"duration,omitempty"`
+}
+
+// AdaptiveSpec enables runtime strategy adaptation.
+type AdaptiveSpec struct {
+	// Patience is the no-activation window before widening onto an extra
+	// resource (default 15m).
+	Patience Duration `json:"patience,omitempty"`
+	// MaxExtraPilots bounds widening rounds (default 2).
+	MaxExtraPilots int `json:"max_extra_pilots,omitempty"`
+	// ReplaceLostPilots replans when a pilot is lost to an outage or
+	// preemption.
+	ReplaceLostPilots bool `json:"replace_lost_pilots,omitempty"`
+	// MaxReplacements bounds replacement rounds (default 2).
+	MaxReplacements int `json:"max_replacements,omitempty"`
+}
+
+// StrategySpec fixes the execution-strategy knobs.
+type StrategySpec struct {
+	// Binding is "early" or "late".
+	Binding string `json:"binding"`
+	// Pilots is the pilot count (default: 1 early, 3 late).
+	Pilots int `json:"pilots,omitempty"`
+	// Resources pins pilot placement (SelectFixed); empty draws randomly.
+	Resources []string `json:"resources,omitempty"`
+	// Adaptive enables runtime adaptation; nil enacts statically.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+}
+
+// SiteSpec selects (and optionally tweaks) one default-testbed site.
+type SiteSpec struct {
+	// Name must match a default-testbed site.
+	Name string `json:"name"`
+	// MedianWait overrides the modeled median queue wait, letting scenarios
+	// compress timescales so events land mid-execution.
+	MedianWait Duration `json:"median_wait,omitempty"`
+}
+
+// UnmarshalJSON accepts either a bare site-name string or the full object.
+func (s *SiteSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &s.Name)
+	}
+	type raw SiteSpec
+	return json.Unmarshal(b, (*raw)(s))
+}
+
+// TestbedSpec selects the simulated resources.
+type TestbedSpec struct {
+	// Sites subsets the default five-site testbed; empty uses all of it.
+	Sites []SiteSpec `json:"sites,omitempty"`
+	// BackgroundUtil switches the testbed to emergent queues (full batch
+	// simulation under this background utilization, with warmup).
+	BackgroundUtil float64 `json:"background_util,omitempty"`
+}
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Seed        int64        `json:"seed,omitempty"`
+	Workload    WorkloadSpec `json:"workload"`
+	Strategy    StrategySpec `json:"strategy"`
+	Testbed     TestbedSpec  `json:"testbed,omitempty"`
+	Events      []Event      `json:"events,omitempty"`
+}
+
+// Parse reads and validates a scenario from JSON.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseString parses a scenario from a JSON string.
+func ParseString(s string) (*Scenario, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Validate reports the first problem with the scenario, with enough context
+// to fix the file.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Workload.Tasks <= 0 {
+		return fmt.Errorf("scenario %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
+	}
+	if _, err := s.Workload.durationSpec(); err != nil {
+		return err
+	}
+	switch s.Strategy.Binding {
+	case "early", "late":
+	case "":
+		return fmt.Errorf("scenario %s: strategy.binding is required (early or late)", s.Name)
+	default:
+		return fmt.Errorf("scenario %s: unknown binding %q (want early or late)", s.Name, s.Strategy.Binding)
+	}
+	if s.Strategy.Pilots < 0 {
+		return fmt.Errorf("scenario %s: negative pilot count %d", s.Name, s.Strategy.Pilots)
+	}
+	if a := s.Strategy.Adaptive; a != nil {
+		if a.Patience < 0 || a.MaxExtraPilots < 0 || a.MaxReplacements < 0 {
+			return fmt.Errorf("scenario %s: adaptive knobs must be non-negative", s.Name)
+		}
+	}
+	if s.Testbed.BackgroundUtil < 0 || s.Testbed.BackgroundUtil >= 1 {
+		if s.Testbed.BackgroundUtil != 0 {
+			return fmt.Errorf("scenario %s: background_util %g out of (0, 1)", s.Name, s.Testbed.BackgroundUtil)
+		}
+	}
+
+	names, err := s.siteNames()
+	if err != nil {
+		return err
+	}
+	valid := make(map[string]bool, len(names))
+	for _, n := range names {
+		valid[n] = true
+	}
+	for _, r := range s.Strategy.Resources {
+		if !valid[r] {
+			return fmt.Errorf("scenario %s: strategy resource %q not in testbed %v", s.Name, r, names)
+		}
+	}
+	// Compare against the pilot count Run will actually use: an omitted
+	// count defaults per binding (late → 3, early → 1).
+	pilots := s.strategyConfig().Pilots
+	if n := len(s.Strategy.Resources); n > 0 && pilots > n {
+		return fmt.Errorf("scenario %s: %d pilots but only %d pinned resources", s.Name, pilots, n)
+	}
+
+	for i, e := range s.Events {
+		where := fmt.Sprintf("scenario %s: event %d (%s)", s.Name, i, e.Action)
+		if e.At < 0 {
+			return fmt.Errorf("%s: negative time %v", where, e.At.Std())
+		}
+		if !knownActions[e.Action] {
+			return fmt.Errorf("scenario %s: event %d: unknown action %q", s.Name, i, e.Action)
+		}
+		if e.Target == "" {
+			return fmt.Errorf("%s: missing target", where)
+		}
+		if !valid[e.Target] {
+			return fmt.Errorf("%s: target %q not in testbed %v", where, e.Target, names)
+		}
+		switch e.Action {
+		case ActionSurge:
+			if s.Testbed.BackgroundUtil > 0 {
+				if e.Jobs <= 0 {
+					return fmt.Errorf("%s: emergent surge needs jobs > 0", where)
+				}
+			} else if e.WaitFactor <= 0 {
+				return fmt.Errorf("%s: modeled surge needs wait_factor > 0", where)
+			}
+		case ActionDegradeWAN:
+			if e.BandwidthFactor <= 0 {
+				return fmt.Errorf("%s: needs bandwidth_factor > 0", where)
+			}
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("%s: negative duration %v", where, e.Duration.Std())
+		}
+	}
+	return nil
+}

@@ -12,7 +12,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -250,9 +253,16 @@ func (s *Sim) runGuard() {
 // Callbacks are serialized by a dedicated run mutex (never held while the
 // engine's own state lock is held), so a callback may freely call Schedule,
 // At and Cancel without deadlocking.
+//
+// Components built on an Engine keep their mutable state lock-free because
+// Engine callbacks never run concurrently — but under RealTime their *public*
+// entry points (Submit, Cancel, ...) run on arbitrary goroutines, racing with
+// timer callbacks. Such entry points must run under Sync (see Locked), which
+// serializes them with callback dispatch.
 type RealTime struct {
-	state  sync.Mutex // guards seq and timers
-	run    sync.Mutex // serializes user callbacks
+	state  sync.Mutex   // guards seq and timers
+	run    sync.Mutex   // serializes user callbacks and Sync'd sections
+	owner  atomic.Int64 // goroutine currently holding run, for reentrancy
 	start  time.Time
 	seq    uint64
 	wg     sync.WaitGroup
@@ -285,7 +295,11 @@ func (r *RealTime) Schedule(delay time.Duration, fn func()) *Event {
 	timer := time.AfterFunc(delay, func() {
 		defer r.wg.Done()
 		r.run.Lock()
-		defer r.run.Unlock()
+		r.owner.Store(goid())
+		defer func() {
+			r.owner.Store(0)
+			r.run.Unlock()
+		}()
 		r.state.Lock()
 		canceled := ev.canceled
 		delete(r.timers, ev)
@@ -330,3 +344,65 @@ func (r *RealTime) Cancel(ev *Event) bool {
 // Wait blocks until all pending timers have fired or been canceled. It is
 // intended for orderly shutdown in examples and tests.
 func (r *RealTime) Wait() { r.wg.Wait() }
+
+// Sync runs fn serialized with timer callbacks: while fn runs, no engine
+// callback runs, so fn may safely touch state that callbacks also mutate.
+// Sync is reentrant — calling it from inside a callback (or a nested Sync)
+// runs fn inline, so components may wrap their public entry points in Sync
+// without worrying about being invoked from an engine callback.
+func (r *RealTime) Sync(fn func()) {
+	id := goid()
+	if r.owner.Load() == id {
+		fn()
+		return
+	}
+	r.run.Lock()
+	r.owner.Store(id)
+	defer func() {
+		r.owner.Store(0)
+		r.run.Unlock()
+	}()
+	fn()
+}
+
+// Syncer is implemented by engines whose callbacks run concurrently with the
+// caller's goroutine and that therefore provide a serialization entry point.
+type Syncer interface {
+	Sync(fn func())
+}
+
+// Locked runs fn under the engine's callback serialization when the engine
+// provides one (RealTime); on single-goroutine engines (Sim) it runs fn
+// directly. Components use it to guard public entry points that mutate state
+// shared with their scheduled callbacks.
+func Locked(eng Engine, fn func()) {
+	if s, ok := eng.(Syncer); ok {
+		s.Sync(fn)
+		return
+	}
+	fn()
+}
+
+// goid returns the current goroutine's id by parsing the stack header
+// ("goroutine 123 [running]: ..."). The runtime exposes no API for this; the
+// parse is the standard fallback and only runs on RealTime entry points,
+// never on the DES hot path.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := string(buf[:n])
+	const prefix = "goroutine "
+	if len(s) <= len(prefix) {
+		return -1
+	}
+	s = s[len(prefix):]
+	end := 0
+	for end < len(s) && s[end] >= '0' && s[end] <= '9' {
+		end++
+	}
+	id, err := strconv.ParseInt(s[:end], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

@@ -157,6 +157,45 @@ func (s *Site) StopBackground() {
 	}
 }
 
+// SetOffline takes the site's queue out of service (see batch.Dynamic).
+// Submissions already in the adaptor's latency window fail on arrival; jobs
+// in the queue are held. When killRunning is true, running jobs — including
+// active pilots — terminate with a resource failure.
+func (s *Site) SetOffline(killRunning bool) {
+	if d, ok := s.queue.(batch.Dynamic); ok {
+		d.SetOffline(killRunning)
+	}
+}
+
+// SetOnline restores the site's queue to service; held jobs resume
+// dispatching.
+func (s *Site) SetOnline() {
+	if d, ok := s.queue.(batch.Dynamic); ok {
+		d.SetOnline()
+	}
+}
+
+// Online reports whether the site's queue is in service. Queues without
+// dynamics support are always online.
+func (s *Site) Online() bool {
+	if d, ok := s.queue.(batch.Dynamic); ok {
+		return !d.Offline()
+	}
+	return true
+}
+
+// SetWaitScale injects a background-load surge on a modeled queue: future
+// sampled waits are multiplied by factor (1 restores nominal). It reports
+// whether the site's queue supports wait scaling (emergent queues surge via
+// real job bursts instead — see scenario.Engine).
+func (s *Site) SetWaitScale(factor float64) bool {
+	if q, ok := s.queue.(*batch.Stochastic); ok {
+		q.SetWaitScale(factor)
+		return true
+	}
+	return false
+}
+
 // Testbed is a named collection of sites.
 type Testbed struct {
 	sites map[string]*Site
