@@ -14,8 +14,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Runs every benchmark once; BenchmarkConcurrentJobs writes the
+# perf-trajectory record BENCH_jobs.json (multi-tenant jobs/sec).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	@echo "--- BENCH_jobs.json"
+	@cat BENCH_jobs.json
 
 # Validate and run every example scenario.
 scenarios: build
@@ -24,4 +28,4 @@ scenarios: build
 	done
 	$(GO) run ./cmd/aimes-scenario run examples/scenarios/outage.json
 
-ci: vet race
+ci: vet race bench

@@ -20,7 +20,7 @@
 //
 // # Quick start
 //
-//	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 42})
+//	env, err := aimes.NewEnv(aimes.WithSeed(42))
 //	if err != nil { ... }
 //	app := aimes.BagOfTasks(128, aimes.UniformDuration())
 //	report, err := env.RunApp(app, aimes.StrategyConfig{
@@ -30,13 +30,32 @@
 //	})
 //	report.WriteSummary(os.Stdout)
 //
+// # Concurrent jobs
+//
+// An Environment is multi-tenant: Submit enacts a workload and returns an
+// asynchronous Job handle immediately, so many workloads share one testbed,
+// one bundle and one engine concurrently:
+//
+//	j1, _ := env.Submit(ctx, w1, aimes.JobConfig{StrategyConfig: cfg})
+//	j2, _ := env.Submit(ctx, w2, aimes.JobConfig{StrategyConfig: cfg})
+//	go consume(j1.Events()) // live pilot/unit/strategy transitions
+//	r1, _ := j1.Wait(ctx)
+//	r2, _ := j2.Wait(ctx)
+//
+// On the virtual-time engine, time advances while any goroutine blocks in
+// Job.Wait (whoever waits, pumps — so N tenants need no dedicated driver);
+// on the wall-clock engine (WithRealTime) time advances on its own. The
+// blocking Run* methods are thin shims over Submit+Wait.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the paper
 // reproduction.
 package aimes
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"aimes/internal/bundle"
@@ -165,6 +184,9 @@ type (
 var DefaultTestbed = site.DefaultTestbed
 
 // EnvConfig configures a simulated execution environment.
+//
+// Deprecated: use NewEnv with functional options (WithSeed, WithSites,
+// WithPilotConfig). EnvConfig remains as a convenience for existing callers.
 type EnvConfig struct {
 	// Seed drives all randomness; runs with equal seeds are identical.
 	Seed int64
@@ -174,25 +196,87 @@ type EnvConfig struct {
 	Pilot *PilotConfig
 }
 
-// Environment is a ready-to-use simulated execution environment: a
-// discrete-event engine, a resource testbed, a SAGA session, a bundle, and
-// an execution manager.
+// Environment is a ready-to-use multi-tenant execution environment: an
+// engine (virtual-time by default, wall-clock with WithRealTime), a resource
+// testbed, a SAGA session, a bundle, and an execution manager shared by any
+// number of concurrent jobs. Submit/Wait/Cancel are safe for concurrent use
+// from multiple goroutines; the blocking Run* methods are shims over them.
 type Environment struct {
-	eng     *sim.Sim
-	testbed *site.Testbed
-	bndl    *bundle.Bundle
-	mgr     *core.Manager
-	rng     *rand.Rand
+	eng      sim.Engine
+	stepper  sim.Stepper // non-nil on virtual-time engines
+	testbed  *site.Testbed
+	bndl     *bundle.Bundle
+	mgr      *core.Manager
+	rng      *rand.Rand
+	eventBuf int
+
+	// mu serializes all engine access (enactment, stepping, cancellation) on
+	// virtual-time engines, where callbacks run on whichever goroutine pumps.
+	// Wall-clock engines serialize through their own Sync instead.
+	mu     sync.Mutex
+	jobSeq int
 }
 
-// NewSimulatedEnvironment builds a deterministic simulated environment.
-func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
-	eng := sim.NewSim()
-	configs := cfg.Sites
+// Option configures NewEnv.
+type Option func(*envOptions)
+
+type envOptions struct {
+	seed     int64
+	sites    []SiteConfig
+	pilot    *PilotConfig
+	realTime bool
+	eventBuf int
+}
+
+// WithSeed sets the seed driving all randomness; environments with equal
+// seeds and equal submission sequences behave identically on the virtual
+// engine.
+func WithSeed(seed int64) Option { return func(o *envOptions) { o.seed = seed } }
+
+// WithSites overrides the default five-resource testbed.
+func WithSites(sites ...SiteConfig) Option {
+	return func(o *envOptions) { o.sites = sites }
+}
+
+// WithPilotConfig overrides the default middleware overheads and failure
+// injection.
+func WithPilotConfig(cfg PilotConfig) Option {
+	return func(o *envOptions) { c := cfg; o.pilot = &c }
+}
+
+// WithRealTime runs the environment on the wall-clock engine: batch queues,
+// staging links and agents fire on real timers, and jobs complete without
+// anyone pumping. Intended for small, fast testbeds (see examples/realtime).
+func WithRealTime() Option { return func(o *envOptions) { o.realTime = true } }
+
+// WithEventBuffer sets the default per-job Events channel capacity (default
+// 1024; nonpositive values fall back to it). When a job's consumer falls
+// behind, excess events are dropped and counted (Job.EventsDropped) rather
+// than stalling the simulation.
+func WithEventBuffer(n int) Option { return func(o *envOptions) { o.eventBuf = n } }
+
+// NewEnv builds an execution environment from functional options:
+//
+//	env, err := aimes.NewEnv(aimes.WithSeed(42), aimes.WithSites(sites...))
+func NewEnv(opts ...Option) (*Environment, error) {
+	o := envOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.eventBuf <= 0 {
+		o.eventBuf = 1024
+	}
+	var eng sim.Engine
+	if o.realTime {
+		eng = sim.NewRealTime()
+	} else {
+		eng = sim.NewSim()
+	}
+	configs := o.sites
 	if configs == nil {
 		configs = site.DefaultTestbed()
 	}
-	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(cfg.Seed))
+	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(o.seed))
 	if err != nil {
 		return nil, err
 	}
@@ -209,20 +293,53 @@ func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
 		return s.Link()
 	}
 	pcfg := pilot.DefaultConfig()
-	if cfg.Pilot != nil {
-		pcfg = *cfg.Pilot
+	if o.pilot != nil {
+		pcfg = *o.pilot
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x414D4553)) // "AMES"
+	rng := rand.New(rand.NewSource(o.seed ^ 0x414D4553)) // "AMES"
 	mgr := core.NewManager(eng, b, sess, links, pcfg, nil, rng)
-	return &Environment{eng: eng, testbed: tb, bndl: b, mgr: mgr, rng: rng}, nil
+	env := &Environment{eng: eng, testbed: tb, bndl: b, mgr: mgr, rng: rng,
+		eventBuf: o.eventBuf}
+	if st, ok := eng.(sim.Stepper); ok {
+		env.stepper = st
+	}
+	return env, nil
+}
+
+// NewSimulatedEnvironment builds a deterministic simulated environment.
+//
+// Deprecated: use NewEnv(WithSeed(...), ...).
+func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
+	opts := []Option{WithSeed(cfg.Seed)}
+	if cfg.Sites != nil {
+		opts = append(opts, WithSites(cfg.Sites...))
+	}
+	if cfg.Pilot != nil {
+		opts = append(opts, WithPilotConfig(*cfg.Pilot))
+	}
+	return NewEnv(opts...)
+}
+
+// sync runs fn serialized with the engine's callbacks: under Sync on
+// wall-clock engines, under the environment mutex on virtual-time engines.
+// Every entry point that touches enactment state goes through it.
+func (e *Environment) sync(fn func()) {
+	if s, ok := e.eng.(sim.Syncer); ok {
+		s.Sync(fn)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
 }
 
 // Bundle exposes the environment's resource bundle for queries, monitoring
 // and discovery.
 func (e *Environment) Bundle() *Bundle { return e.bndl }
 
-// Recorder exposes the execution trace (every pilot and unit state
-// transition with timestamps).
+// Recorder exposes the aggregate execution trace: every job's pilot, unit
+// and strategy transitions, teed from the per-job recorders. Read it only
+// while no job is running; live consumers should stream Job.Events instead.
 func (e *Environment) Recorder() *Recorder { return e.mgr.Recorder() }
 
 // Resources returns the testbed resource names.
@@ -231,70 +348,118 @@ func (e *Environment) Resources() []string { return e.testbed.Names() }
 // Derive makes the execution-strategy decisions for a workload without
 // enacting them.
 func (e *Environment) Derive(w *Workload, cfg StrategyConfig) (Strategy, error) {
-	return core.Derive(w, e.bndl, cfg, e.rng)
+	var (
+		s   Strategy
+		err error
+	)
+	e.sync(func() { s, err = core.Derive(w, e.bndl, cfg, e.rng) })
+	return s, err
 }
 
-// Run generates nothing: it enacts a pre-derived strategy for a workload
-// and returns the instrumented report.
+// Run enacts a pre-derived strategy for a workload and blocks until the
+// instrumented report is ready — a shim over Submit+Wait.
 func (e *Environment) Run(w *Workload, s Strategy) (*Report, error) {
-	return e.mgr.ExecuteAndWait(e.eng, w, s)
+	return e.runJob(w, JobConfig{Strategy: &s})
 }
 
-// RunWorkload derives a strategy from the config and enacts it.
+// RunWorkload derives a strategy from the config and enacts it, blocking
+// until completion — a shim over Submit+Wait.
 func (e *Environment) RunWorkload(w *Workload, cfg StrategyConfig) (*Report, error) {
-	return e.mgr.DeriveAndExecute(e.eng, w, cfg)
+	return e.runJob(w, JobConfig{StrategyConfig: cfg})
 }
 
 // RunStaged executes a multistage workload one stage at a time, re-deriving
 // the strategy before each stage and feeding observed queue waits back into
-// the bundle (paper §V, workflow decomposition). It returns the aggregate
-// report and the per-stage reports.
+// the bundle (paper §V, workflow decomposition). Each stage runs as one job,
+// so staged executions coexist with other tenants on the shared testbed. It
+// returns the aggregate report and the per-stage reports.
 func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Report, error) {
-	return e.mgr.ExecuteStaged(e.eng, w, cfg)
+	if len(w.Stages) == 0 {
+		return nil, nil, fmt.Errorf("aimes: workload has no stages")
+	}
+	var stageReports []*Report
+	for _, sub := range core.StageWorkloads(w) {
+		report, err := e.runJob(sub, JobConfig{StrategyConfig: cfg})
+		if err != nil {
+			return nil, stageReports, fmt.Errorf("aimes: stage %q: %w", sub.Stages[0], err)
+		}
+		e.sync(func() { e.mgr.FeedbackWaits(report) })
+		stageReports = append(stageReports, report)
+	}
+	return core.MergeStaged(stageReports), stageReports, nil
 }
 
 // RunAdaptive enacts a strategy with runtime adaptation: if no pilot
 // activates within the patience window, the execution manager widens onto
-// additional resources (paper §V, "dynamic execution").
+// additional resources (paper §V, "dynamic execution"). A shim over
+// Submit+Wait with JobConfig.Adaptive set.
 func (e *Environment) RunAdaptive(w *Workload, s Strategy, acfg AdaptiveConfig) (*Report, error) {
-	exec, err := e.mgr.ExecuteAdaptive(w, s, acfg)
-	if err != nil {
-		return nil, err
-	}
-	for !exec.Done() && e.eng.Step() {
-	}
-	if !exec.Done() {
-		return nil, fmt.Errorf("aimes: simulation drained but workload incomplete")
-	}
-	return exec.Report(), nil
+	return e.runJob(w, JobConfig{Strategy: &s, Adaptive: &acfg})
 }
 
 // RunApp generates the application (seeded by the environment seed), then
 // derives and enacts a strategy — the one-call entry point.
 func (e *Environment) RunApp(app AppSpec, cfg StrategyConfig) (*Report, error) {
-	w, err := skeleton.Generate(app, e.rng.Int63())
+	var (
+		w   *Workload
+		err error
+	)
+	e.sync(func() { w, err = skeleton.Generate(app, e.rng.Int63()) })
 	if err != nil {
 		return nil, err
 	}
 	return e.RunWorkload(w, cfg)
 }
 
+// runJob is the blocking Submit+Wait composition behind the Run* shims.
+func (e *Environment) runJob(w *Workload, cfg JobConfig) (*Report, error) {
+	j, err := e.Submit(context.Background(), w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(context.Background())
+}
+
 // NewMonitor starts a bundle monitor on the environment's engine. Note that
-// in a simulated environment time only advances while a workload runs.
+// in a virtual-time environment time only advances while a job runs and a
+// client waits on it.
 func (e *Environment) NewMonitor(interval time.Duration) *Monitor {
 	return bundle.NewMonitor(e.eng, e.bndl, interval)
 }
 
-// Validate ensures strategy configs that name fixed resources reference the
-// environment's testbed, returning a descriptive error otherwise.
-func (e *Environment) Validate(cfg StrategyConfig) error {
-	if cfg.Selection != SelectFixed {
-		return nil
+// Validate checks a workload/strategy-config pair against the environment
+// before enactment; Submit runs it automatically when it derives a strategy.
+// It rejects zero-task workloads, negative pilot counts (zero delegates the
+// choice to the manager), unknown binding/scheduler/selection values, and
+// fixed resource selections naming resources outside the testbed.
+func (e *Environment) Validate(w *Workload, cfg StrategyConfig) error {
+	if w == nil || w.TotalTasks() == 0 {
+		return fmt.Errorf("aimes: zero-task workload (generate tasks before submitting)")
 	}
-	for _, name := range cfg.FixedResources {
-		if e.testbed.Site(name) == nil {
-			return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.testbed.Names())
+	if cfg.Pilots < 0 {
+		return fmt.Errorf("aimes: pilot count %d is negative (use 0 to let the manager choose)", cfg.Pilots)
+	}
+	if cfg.Binding != EarlyBinding && cfg.Binding != LateBinding {
+		return fmt.Errorf("aimes: unknown binding %d (want EarlyBinding or LateBinding)", cfg.Binding)
+	}
+	switch cfg.Scheduler {
+	case SchedDirect, SchedRoundRobin, SchedBackfill:
+	default:
+		return fmt.Errorf("aimes: unknown scheduler %d (want SchedDirect, SchedRoundRobin or SchedBackfill)", cfg.Scheduler)
+	}
+	switch cfg.Selection {
+	case SelectRandom, SelectByPredictedWait:
+	case SelectFixed:
+		if len(cfg.FixedResources) == 0 {
+			return fmt.Errorf("aimes: fixed selection without resources")
 		}
+		for _, name := range cfg.FixedResources {
+			if e.testbed.Site(name) == nil {
+				return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.testbed.Names())
+			}
+		}
+	default:
+		return fmt.Errorf("aimes: unknown selection %d (want SelectRandom, SelectByPredictedWait or SelectFixed)", cfg.Selection)
 	}
 	return nil
 }

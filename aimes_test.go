@@ -140,22 +140,54 @@ func TestCustomSites(t *testing.T) {
 	}
 }
 
-func TestValidateFixedResources(t *testing.T) {
+func TestValidate(t *testing.T) {
 	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := aimes.GenerateWorkload(aimes.BagOfTasks(4, aimes.UniformDuration()), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	good := aimes.StrategyConfig{
 		Selection: aimes.SelectFixed, FixedResources: []string{"stampede"}, Pilots: 1,
 	}
-	if err := env.Validate(good); err != nil {
+	if err := env.Validate(w, good); err != nil {
 		t.Fatal(err)
 	}
-	bad := aimes.StrategyConfig{
-		Selection: aimes.SelectFixed, FixedResources: []string{"atlantis"}, Pilots: 1,
+	cases := []struct {
+		name string
+		w    *aimes.Workload
+		cfg  aimes.StrategyConfig
+		want string
+	}{
+		{"unknown fixed resource", w, aimes.StrategyConfig{
+			Selection: aimes.SelectFixed, FixedResources: []string{"atlantis"}, Pilots: 1,
+		}, "unknown resource"},
+		{"empty fixed selection", w, aimes.StrategyConfig{
+			Selection: aimes.SelectFixed, Pilots: 1,
+		}, "without resources"},
+		{"nil workload", nil, good, "zero-task"},
+		{"zero-task workload", &aimes.Workload{Name: "empty"}, good, "zero-task"},
+		{"negative pilots", w, aimes.StrategyConfig{Pilots: -2}, "negative"},
+		{"unknown scheduler", w, aimes.StrategyConfig{Scheduler: aimes.SchedulerKind(99), Pilots: 1}, "unknown scheduler"},
+		{"unknown binding", w, aimes.StrategyConfig{Binding: aimes.Binding(7), Pilots: 1}, "unknown binding"},
+		{"unknown selection", w, aimes.StrategyConfig{Selection: aimes.Selection(7), Pilots: 1}, "unknown selection"},
 	}
-	if err := env.Validate(bad); err == nil {
-		t.Fatal("unknown fixed resource validated")
+	for _, c := range cases {
+		err := env.Validate(c.w, c.cfg)
+		if err == nil {
+			t.Fatalf("%s: validated", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// Submit runs validation automatically.
+	if _, err := env.Submit(nil, w, aimes.JobConfig{
+		StrategyConfig: aimes.StrategyConfig{Pilots: -1},
+	}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("Submit skipped validation: %v", err)
 	}
 }
 

@@ -12,10 +12,15 @@ package aimes_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"os"
+	"sync"
 	"testing"
 	"time"
 
+	"aimes"
 	"aimes/internal/batch"
 	"aimes/internal/experiments"
 	"aimes/internal/sim"
@@ -325,5 +330,71 @@ func BenchmarkAblationStaged(b *testing.B) {
 			b.Fatal(err)
 		}
 		logOnce(b, i, &buf)
+	}
+}
+
+// BenchmarkConcurrentJobs measures multi-tenant job throughput through the
+// async API: 100 concurrent 64-task workloads submitted to one shared
+// environment and waited on from 100 goroutines. Alongside the standard
+// ns/op it reports jobs/s and writes the perf-trajectory record
+// BENCH_jobs.json consumed by CI.
+func BenchmarkConcurrentJobs(b *testing.B) {
+	const nJobs, nTasks = 100, 64
+	cfg := aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+	}
+	workloads := make([]*aimes.Workload, nJobs)
+	for k := range workloads {
+		w, err := aimes.GenerateWorkload(
+			aimes.BagOfTasks(nTasks, aimes.UniformDuration()), int64(9000+k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		workloads[k] = w
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := aimes.NewEnv(aimes.WithSeed(int64(4242 + i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs := make([]*aimes.Job, nJobs)
+		for k, w := range workloads {
+			if jobs[k], err = env.Submit(context.Background(), w, aimes.JobConfig{StrategyConfig: cfg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for k, j := range jobs {
+			wg.Add(1)
+			go func(k int, j *aimes.Job) {
+				defer wg.Done()
+				r, err := j.Wait(context.Background())
+				if err != nil {
+					b.Errorf("job %d: %v", k, err)
+				} else if r.UnitsDone != nTasks {
+					b.Errorf("job %d: %d units done", k, r.UnitsDone)
+				}
+			}(k, j)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	jobsPerSec := float64(nJobs*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(jobsPerSec, "jobs/s")
+	record := map[string]any{
+		"benchmark":       "BenchmarkConcurrentJobs",
+		"jobs":            nJobs,
+		"tasks_per_job":   nTasks,
+		"iterations":      b.N,
+		"elapsed_seconds": b.Elapsed().Seconds(),
+		"jobs_per_second": jobsPerSec,
+	}
+	buf, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_jobs.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,17 +29,18 @@ func main() {
 		pilots   = flag.Int("pilots", 3, "number of pilots")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		traceOut = flag.String("trace", "", "write the full state trace as CSV to this file")
+		events   = flag.Bool("events", false, "stream pilot/unit/strategy transitions to stderr while the job runs")
 		verbose  = flag.Bool("v", false, "print the derived strategy before enacting it")
 	)
 	flag.Parse()
 
-	if err := run(*appFile, *wlFile, *tasks, *duration, *binding, *pilots, *seed, *traceOut, *verbose); err != nil {
+	if err := run(*appFile, *wlFile, *tasks, *duration, *binding, *pilots, *seed, *traceOut, *events, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "aimes-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appFile, wlFile string, tasks int, duration, binding string, pilots int, seed int64, traceOut string, verbose bool) error {
+func run(appFile, wlFile string, tasks int, duration, binding string, pilots int, seed int64, traceOut string, events, verbose bool) error {
 	var app aimes.AppSpec
 	switch {
 	case wlFile != "":
@@ -77,7 +79,7 @@ func run(appFile, wlFile string, tasks int, duration, binding string, pilots int
 		return fmt.Errorf("unknown binding %q", binding)
 	}
 
-	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: seed})
+	env, err := aimes.NewEnv(aimes.WithSeed(seed))
 	if err != nil {
 		return err
 	}
@@ -107,9 +109,29 @@ func run(appFile, wlFile string, tasks int, duration, binding string, pilots int
 	if verbose {
 		fmt.Printf("derived:  %s\n", strategy)
 	}
-	report, err := env.Run(w, strategy)
+	job, err := env.Submit(context.Background(), w, aimes.JobConfig{Strategy: &strategy})
 	if err != nil {
 		return err
+	}
+	streamed := make(chan struct{})
+	if events {
+		go func() {
+			defer close(streamed)
+			for ev := range job.Events() {
+				fmt.Fprintf(os.Stderr, "%12.1fs  %-28s %-16s %s\n",
+					ev.Time.Seconds(), ev.Entity, ev.State, ev.Detail)
+			}
+		}()
+	} else {
+		close(streamed)
+	}
+	report, err := job.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	<-streamed
+	if dropped := job.EventsDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "(%d events dropped; the consumer lagged the stream buffer)\n", dropped)
 	}
 	if err := report.WriteSummary(os.Stdout); err != nil {
 		return err

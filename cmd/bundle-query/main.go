@@ -38,7 +38,7 @@ func main() {
 }
 
 func run(match string, predict bool, history int, seed int64) error {
-	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: seed})
+	env, err := aimes.NewEnv(aimes.WithSeed(seed))
 	if err != nil {
 		return err
 	}

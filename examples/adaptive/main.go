@@ -20,7 +20,7 @@ func main() {
 	for _, adaptive := range []bool{false, true} {
 		// Seed 1437 is a run whose randomly chosen single resource draws a
 		// long queue wait — the tail the paper's Figure 4(a) shows.
-		env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 1437})
+		env, err := aimes.NewEnv(aimes.WithSeed(1437))
 		if err != nil {
 			log.Fatal(err)
 		}

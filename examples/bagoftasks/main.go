@@ -43,7 +43,7 @@ func main() {
 	for _, s := range strategies {
 		var ttc, twait, tx, ts float64
 		for rep := int64(0); rep < reps; rep++ {
-			env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 7000 + rep})
+			env, err := aimes.NewEnv(aimes.WithSeed(7000 + rep))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,99 @@
+// Multi-tenant execution: many independent applications share one
+// environment — one testbed, one bundle, one engine — through the async Job
+// API. Each tenant submits its workload and gets a handle immediately;
+// whoever waits, pumps virtual time, so twenty concurrent jobs need no
+// dedicated driver. One tenant streams its pilot/unit/strategy transitions
+// live from Job.Events, and one is evicted mid-flight with Job.Cancel.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"aimes"
+)
+
+func main() {
+	env, err := aimes.NewEnv(aimes.WithSeed(20260728))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const tenants = 20
+	cfg := aimes.StrategyConfig{
+		Binding:   aimes.LateBinding,
+		Scheduler: aimes.SchedBackfill,
+		Pilots:    2,
+	}
+
+	// Submit all tenants up front; Submit returns as soon as the strategy is
+	// derived and enacted, so this loop completes before any task runs.
+	start := time.Now()
+	jobs := make([]*aimes.Job, tenants)
+	for i := range jobs {
+		tasks := 16 + 16*(i%4) // heterogeneous tenants: 16..64 tasks
+		w, err := aimes.GenerateWorkload(
+			aimes.BagOfTasks(tasks, aimes.UniformDuration()), int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jobs[i], err = env.Submit(context.Background(), w, aimes.JobConfig{StrategyConfig: cfg}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("submitted %d tenants onto one %d-resource testbed\n\n",
+		tenants, len(env.Resources()))
+
+	// Tenant 0 exposes its live event stream.
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		shown := 0
+		for ev := range jobs[0].Events() {
+			if ev.Entity == "em" || ev.State == "ACTIVE" {
+				fmt.Printf("  [tenant 1 event] %8.1fs  %-24s %s %s\n",
+					ev.Time.Seconds(), ev.Entity, ev.State, ev.Detail)
+			}
+			shown++
+		}
+		fmt.Printf("  [tenant 1 event] stream closed after %d transitions\n\n", shown)
+	}()
+
+	// Tenant 14 is evicted before its tasks can finish.
+	jobs[13].Cancel("tenant evicted by operator")
+
+	// Wait on every tenant concurrently; the waiters collectively pump the
+	// shared engine.
+	var wg sync.WaitGroup
+	reports := make([]*aimes.Report, tenants)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *aimes.Job) {
+			defer wg.Done()
+			r, err := j.Wait(context.Background())
+			if err != nil {
+				log.Fatalf("tenant %d: %v", i+1, err)
+			}
+			reports[i] = r
+		}(i, j)
+	}
+	wg.Wait()
+	watcher.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Println("tenant  state     tasks  done  canceled       TTC")
+	var done int
+	for i, r := range reports {
+		total := r.UnitsDone + r.UnitsFailed + r.UnitsCanceled
+		fmt.Printf("%6d  %-8s %6d %5d %9d %8.0fs\n",
+			i+1, jobs[i].State(), total, r.UnitsDone, r.UnitsCanceled, r.TTC.Seconds())
+		done += r.UnitsDone
+	}
+	fmt.Printf("\n%d tenants (%d tasks executed, one eviction) in %v wall clock — %.0f jobs/sec\n",
+		tenants, done, elapsed.Round(time.Millisecond),
+		float64(tenants)/elapsed.Seconds())
+}

@@ -37,7 +37,7 @@ func main() {
 		},
 	}
 
-	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 271828})
+	env, err := aimes.NewEnv(aimes.WithSeed(271828))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,7 +47,7 @@ func main() {
 		},
 	}
 
-	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 1701})
+	env, err := aimes.NewEnv(aimes.WithSeed(1701))
 	if err != nil {
 		log.Fatal(err)
 	}

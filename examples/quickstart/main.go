@@ -15,7 +15,7 @@ func main() {
 	// A simulated environment: five heterogeneous resources with
 	// heavy-tailed batch queues, WAN staging links, and a deterministic
 	// discrete-event clock. Same seed → same run.
-	env, err := aimes.NewSimulatedEnvironment(aimes.EnvConfig{Seed: 42})
+	env, err := aimes.NewEnv(aimes.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,86 +1,103 @@
-// Real-time execution: the middleware is engine-agnostic, so the same pilot
-// system that drives year-scale simulated experiments also executes
-// workloads on the local machine in actual wall-clock time — AIMES's
-// "self-containment": nothing needs to be installed on any resource, and
-// the local SAGA adaptor plays the role of a resource manager.
+// Real-time execution: the middleware is engine-agnostic, so the identical
+// Job API that drives year-scale simulated experiments also runs on the
+// wall-clock engine — batch queues, staging links and agents fire on real
+// timers, and jobs complete without anyone pumping.
 //
-// This program runs a 12-task workload (100–300 ms tasks) on a 4-core
-// "localhost" pilot and prints the observed timeline.
+// This program builds a two-site millisecond-scale testbed with
+// aimes.WithRealTime(), submits two concurrent jobs, streams one job's
+// transitions live as they happen, and cancels the second mid-flight.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"aimes/internal/netsim"
-	"aimes/internal/pilot"
-	"aimes/internal/saga"
-	"aimes/internal/sim"
-	"aimes/internal/trace"
+	"aimes"
+	"aimes/internal/batch"
 )
 
+func fastSite(name string) aimes.SiteConfig {
+	return aimes.SiteConfig{
+		Name: name, Nodes: 8, CoresPerNode: 4, Architecture: "beowulf",
+		WaitModel: batch.WaitModel{
+			MedianWait: 30 * time.Millisecond, Sigma: 0.4,
+			MinWait: 10 * time.Millisecond, MaxWait: 150 * time.Millisecond,
+		},
+		SubmitLatency: 2 * time.Millisecond,
+		BandwidthMBps: 1000, NetLatency: time.Millisecond, StorageGB: 10,
+	}
+}
+
 func main() {
-	eng := sim.NewRealTime()
-	sess := saga.NewSession()
-	sess.Register(saga.NewLocalAdaptor(eng, 4))
-
-	// The loopback "WAN": effectively instant staging.
-	loop := netsim.NewLink(eng, "loopback", 1e9, time.Millisecond)
-	links := func(string) *netsim.Link { return loop }
-
-	rec := trace.NewRecorder()
-	cfg := pilot.Config{AgentDispatchOverhead: 5 * time.Millisecond, DefaultMaxRestarts: 3}
-	sys := pilot.NewSystem(eng, sess, links, rec, cfg, nil)
-
-	pm := pilot.NewPilotManager(sys)
-	um := pilot.NewUnitManager(sys, pilot.Backfill{})
-
-	p, err := pm.Submit(pilot.PilotDescription{
-		Resource: "localhost",
-		Cores:    4,
-		Walltime: time.Minute,
-	})
+	env, err := aimes.NewEnv(
+		aimes.WithRealTime(),
+		aimes.WithSeed(42),
+		aimes.WithSites(fastSite("left"), fastSite("right")),
+		aimes.WithPilotConfig(aimes.PilotConfig{
+			AgentDispatchOverhead: 2 * time.Millisecond,
+			DefaultMaxRestarts:    3,
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	um.AddPilot(p)
-
-	descs := make([]pilot.UnitDescription, 12)
-	for i := range descs {
-		descs[i] = pilot.UnitDescription{
-			Name:     fmt.Sprintf("task-%02d", i),
-			Cores:    1,
-			Duration: time.Duration(100+17*i%200) * time.Millisecond,
-			Inputs:   []pilot.InputFile{{Bytes: 1 << 12}},
-		}
+	cfg := aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
 	}
-	done := make(chan struct{})
-	um.OnCompletion(func() {
-		pm.CancelAll()
-		close(done)
-	})
+
+	mk := func(name string, tasks int, dur float64, seed int64) *aimes.Workload {
+		w, err := aimes.GenerateWorkload(aimes.AppSpec{
+			Name: name,
+			Stages: []aimes.StageSpec{{
+				Name: "main", Tasks: tasks, DurationS: aimes.ConstantSpec(dur),
+			}},
+		}, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	start := time.Now()
-	if err := um.Submit(descs); err != nil {
+
+	quick, err := env.Submit(ctx, mk("quick", 12, 0.2, 1), aimes.JobConfig{StrategyConfig: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow, err := env.Submit(ctx, mk("slow", 4, 60, 2), aimes.JobConfig{StrategyConfig: cfg})
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		log.Fatal("workload did not complete in real time")
-	}
-	elapsed := time.Since(start)
-
-	fmt.Printf("executed %d tasks on a %d-core local pilot in %v (wall clock)\n",
-		len(descs), 4, elapsed.Round(time.Millisecond))
-	for _, u := range um.Units() {
-		if u.State() != pilot.UnitDone {
-			log.Fatalf("unit %s ended %v", u.Name(), u.State())
+	// Stream the quick job's transitions as the wall clock produces them.
+	go func() {
+		for ev := range quick.Events() {
+			if ev.Entity == "em" || ev.State == "ACTIVE" || ev.State == "EXECUTING" {
+				fmt.Printf("  %8.0fms  %-18s %s\n",
+					float64(ev.Time.Microseconds())/1000, ev.Entity, ev.State)
+			}
 		}
+	}()
+
+	// The slow job would hold its pilots for a minute; evict it shortly.
+	time.AfterFunc(400*time.Millisecond, func() { slow.Cancel("demo over") })
+
+	rQuick, err := quick.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
-	execs := rec.ByState("EXECUTING")
-	fmt.Printf("first task started %v after submission\n",
-		execs[0].Time.Duration().Round(time.Millisecond))
-	fmt.Printf("trace captured %d state transitions\n", rec.Len())
+	quickWall := time.Since(start)
+	rSlow, err := slow.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nquick: %d tasks done, TTC %v (%v wall clock)\n",
+		rQuick.UnitsDone, rQuick.TTC.Round(time.Millisecond), quickWall.Round(time.Millisecond))
+	fmt.Printf("slow:  %s — %d units canceled after %v\n",
+		slow.State(), rSlow.UnitsCanceled, rSlow.TTC.Round(time.Millisecond))
 }

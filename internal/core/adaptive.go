@@ -51,13 +51,18 @@ func (c AdaptiveConfig) Validate() error {
 // Execution behaves like Execute's; extra pilots appear in the report's
 // ExtraPilots count and in the trace as "em"/"ADAPTED" records.
 func (m *Manager) ExecuteAdaptive(w *skeleton.Workload, s Strategy, acfg AdaptiveConfig) (*Execution, error) {
+	return m.ExecuteAdaptiveWith(w, s, acfg, ExecOptions{})
+}
+
+// ExecuteAdaptiveWith is ExecuteAdaptive with per-execution scoping.
+func (m *Manager) ExecuteAdaptiveWith(w *skeleton.Workload, s Strategy, acfg AdaptiveConfig, opts ExecOptions) (*Execution, error) {
 	if err := acfg.Validate(); err != nil {
 		return nil, err
 	}
 	if acfg.MaxExtraPilots == 0 {
 		acfg.MaxExtraPilots = 2
 	}
-	e, err := m.Execute(w, s)
+	e, err := m.ExecuteWith(w, s, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +104,9 @@ func (e *Execution) pilotLost(p *pilot.Pilot) {
 	e.replaceBudget--
 	if e.addPilot() {
 		e.extraPilots++
-		e.m.rec.Record(e.m.eng.Now(), "em", "REPLANNED", "replaced lost "+p.ID())
+		e.rec.Record(e.m.eng.Now(), "em", "REPLANNED", "replaced lost "+p.ID())
 	} else {
-		e.m.rec.Record(e.m.eng.Now(), "em", "REPLAN_FAILED", "no resource left for "+p.ID())
+		e.rec.Record(e.m.eng.Now(), "em", "REPLAN_FAILED", "no resource left for "+p.ID())
 	}
 }
 
@@ -173,14 +178,14 @@ func (e *Execution) addPilot() bool {
 		Walltime: e.strategy.PilotWalltime,
 	})
 	if err != nil {
-		e.m.rec.Record(e.m.eng.Now(), "em", "ADAPT_FAILED", err.Error())
+		e.rec.Record(e.m.eng.Now(), "em", "ADAPT_FAILED", err.Error())
 		return false
 	}
 	e.um.AddPilot(p)
 	if e.watchForLoss {
 		e.watchPilot(p)
 	}
-	e.m.rec.Record(e.m.eng.Now(), "em", "ADAPTED", "extra pilot on "+target)
+	e.rec.Record(e.m.eng.Now(), "em", "ADAPTED", "extra pilot on "+target)
 	return true
 }
 

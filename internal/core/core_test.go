@@ -171,7 +171,7 @@ func TestExecuteEarlyBindingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.mgr.ExecuteAndWait(e.eng, w, s)
+	report, err := e.mgr.ExecuteAndWait(w, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestExecuteLateBindingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.mgr.ExecuteAndWait(e.eng, w, s)
+	report, err := e.mgr.ExecuteAndWait(w, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func runStrategy(t *testing.T, seed int64, n int, cfg StrategyConfig) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.mgr.ExecuteAndWait(e.eng, w, s)
+	report, err := e.mgr.ExecuteAndWait(w, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestReportSummaryOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.mgr.ExecuteAndWait(e.eng, w, s)
+	report, err := e.mgr.ExecuteAndWait(w, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestUnitsByResourceBreakdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.mgr.ExecuteAndWait(e.eng, w, s)
+	report, err := e.mgr.ExecuteAndWait(w, s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,10 @@ import (
 // Manager is the Execution Manager: it gathers application information via
 // the skeleton API and resource information via the bundle API, derives an
 // execution strategy, and enacts it through the pilot layer (§III-D,
-// Figure 1 steps 1–6).
+// Figure 1 steps 1–6). One manager serves many executions, sequentially or
+// concurrently on a shared engine: each execution gets its own pilot system
+// and may get its own trace recorder and pilot-ID namespace (ExecOptions),
+// so tenants sharing the testbed stay observably separate.
 type Manager struct {
 	eng     sim.Engine
 	bundle  *bundle.Bundle
@@ -41,9 +44,29 @@ func NewManager(eng sim.Engine, b *bundle.Bundle, session *saga.Session,
 // Recorder exposes the shared trace recorder.
 func (m *Manager) Recorder() *trace.Recorder { return m.rec }
 
+// Engine exposes the engine the manager enacts on.
+func (m *Manager) Engine() sim.Engine { return m.eng }
+
+// Bundle exposes the resource bundle the manager derives against.
+func (m *Manager) Bundle() *bundle.Bundle { return m.bundle }
+
+// ExecOptions scopes one execution inside a shared environment. The zero
+// value reproduces the classic single-tenant behavior: the manager's shared
+// recorder and un-namespaced pilot IDs.
+type ExecOptions struct {
+	// Recorder receives this execution's trace. Nil uses the manager's
+	// shared recorder. Multi-tenant callers pass a per-job recorder (and tee
+	// it into an aggregate one via trace.Recorder.Observe if desired) so
+	// reports and event streams never mix tenants.
+	Recorder *trace.Recorder
+	// Namespace scopes pilot IDs, e.g. "j3" → "pilot.stampede.j3-1".
+	Namespace string
+}
+
 // Execution is an in-flight enactment handle.
 type Execution struct {
 	m           *Manager
+	rec         *trace.Recorder
 	workload    *skeleton.Workload
 	strategy    Strategy
 	pm          *pilot.PilotManager
@@ -51,6 +74,7 @@ type Execution struct {
 	started     sim.Time
 	ended       sim.Time
 	done        bool
+	canceled    bool
 	extraPilots int
 	onDone      []func(*Report)
 	report      *Report
@@ -66,8 +90,15 @@ func (e *Execution) Strategy() Strategy { return e.strategy }
 // Done reports whether the execution has completed.
 func (e *Execution) Done() bool { return e.done }
 
+// Canceled reports whether Cancel ended the execution.
+func (e *Execution) Canceled() bool { return e.canceled }
+
 // Report returns the final report, or nil while running.
 func (e *Execution) Report() *Report { return e.report }
+
+// Recorder returns this execution's trace recorder (the manager's shared one
+// unless ExecOptions provided a per-execution recorder).
+func (e *Execution) Recorder() *trace.Recorder { return e.rec }
 
 // OnComplete registers a callback fired once with the final report.
 func (e *Execution) OnComplete(fn func(*Report)) {
@@ -100,22 +131,50 @@ func (e *Execution) PreemptPilot(resource, reason string) bool {
 	return false
 }
 
+// Cancel aborts the execution: every non-final unit is canceled, all pilots
+// are torn down, and the execution completes immediately with a report that
+// accounts the canceled units. Canceling a finished execution is a no-op.
+// Must run under the engine's callback serialization (sim.Locked) when the
+// engine is concurrent.
+func (e *Execution) Cancel(reason string) {
+	if e.done {
+		return
+	}
+	e.canceled = true
+	e.rec.Record(e.m.eng.Now(), "em", "CANCELED", reason)
+	// Canceling the last unit fires the unit manager's completion callback,
+	// which runs finish: pilot teardown and report assembly happen there.
+	e.um.CancelAll()
+}
+
 // Execute enacts a strategy for a workload: pilots are described and
 // submitted in randomized order (step 4–5), units are scheduled onto them
 // (step 6), outputs are staged back, and all pilots are canceled when the
 // workload completes. It returns immediately; completion is observed via
-// OnComplete or by running the engine (see ExecuteAndWait).
+// OnComplete or by running the engine (see ExecuteAndWait and WaitFor).
 func (m *Manager) Execute(w *skeleton.Workload, s Strategy) (*Execution, error) {
+	return m.ExecuteWith(w, s, ExecOptions{})
+}
+
+// ExecuteWith is Execute with per-execution scoping (recorder, namespace).
+func (m *Manager) ExecuteWith(w *skeleton.Workload, s Strategy, opts ExecOptions) (*Execution, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if w.TotalTasks() == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
-	e := &Execution{m: m, workload: w, strategy: s, started: m.eng.Now()}
-	m.rec.Record(m.eng.Now(), "em", "ENACTING", s.String())
+	rec := opts.Recorder
+	if rec == nil {
+		rec = m.rec
+	}
+	e := &Execution{m: m, rec: rec, workload: w, strategy: s, started: m.eng.Now()}
+	rec.Record(m.eng.Now(), "em", "ENACTING", s.String())
 
-	sys := pilot.NewSystem(m.eng, m.session, m.links, m.rec, m.cfg, m.rng)
+	sys := pilot.NewSystem(m.eng, m.session, m.links, rec, m.cfg, m.rng)
+	if opts.Namespace != "" {
+		sys.SetNamespace(opts.Namespace)
+	}
 	e.pm = pilot.NewPilotManager(sys)
 	e.um = pilot.NewUnitManager(sys, s.Scheduler.build())
 
@@ -153,7 +212,7 @@ func (e *Execution) finish() {
 	e.pm.CancelAll()
 	e.ended = e.m.eng.Now()
 	e.done = true
-	e.m.rec.Record(e.ended, "em", "DONE", "")
+	e.rec.Record(e.ended, "em", "DONE", "")
 	e.report = buildReport(e)
 	for _, fn := range e.onDone {
 		fn(e.report)
@@ -161,32 +220,53 @@ func (e *Execution) finish() {
 	e.onDone = nil
 }
 
-// ExecuteAndWait is the synchronous convenience for discrete-event engines:
-// it enacts the strategy and steps the simulation until the workload
-// completes. Stepping (rather than draining) lets periodic components such
-// as bundle monitors keep running without blocking completion.
-func (m *Manager) ExecuteAndWait(eng *sim.Sim, w *skeleton.Workload, s Strategy) (*Report, error) {
+// WaitFor is the manager's engine pump, the single drain path for blocking
+// callers. On a steppable (virtual-time) engine it fires events until the
+// execution completes — stepping rather than draining, so periodic
+// components such as bundle monitors keep running without blocking
+// completion. On a self-advancing engine (RealTime) it blocks until the
+// completion callback fires. Multi-tenant façades layer their own fair,
+// cancelable pump on top of Execute; WaitFor is the single-driver case.
+func (m *Manager) WaitFor(e *Execution) (*Report, error) {
+	if st, ok := m.eng.(sim.Stepper); ok {
+		for !e.done && st.Step() {
+		}
+		if !e.done {
+			return nil, e.IncompleteError()
+		}
+		return e.report, nil
+	}
+	done := make(chan struct{})
+	sim.Locked(m.eng, func() {
+		e.OnComplete(func(*Report) { close(done) })
+	})
+	<-done
+	return e.report, nil
+}
+
+// IncompleteError describes an execution stuck after the engine drained:
+// which pilot and unit states it wedged in, the context needed to diagnose
+// a run that can no longer make progress.
+func (e *Execution) IncompleteError() error {
+	pilots := make(map[string]int)
+	for _, p := range e.pm.Pilots() {
+		pilots[p.State().String()]++
+	}
+	units := make(map[string]int)
+	for _, u := range e.um.Units() {
+		units[u.State().String()]++
+	}
+	return fmt.Errorf("core: engine drained but workload incomplete (pilots %v, units %v)", pilots, units)
+}
+
+// ExecuteAndWait is the synchronous convenience: enact the strategy, then
+// pump the engine until the workload completes.
+func (m *Manager) ExecuteAndWait(w *skeleton.Workload, s Strategy) (*Report, error) {
 	e, err := m.Execute(w, s)
 	if err != nil {
 		return nil, err
 	}
-	for !e.done && eng.Step() {
-	}
-	if !e.done {
-		return nil, fmt.Errorf("core: simulation drained but workload incomplete (%d/%d units final)",
-			countFinal(e.um), len(e.um.Units()))
-	}
-	return e.report, nil
-}
-
-func countFinal(um *pilot.UnitManager) int {
-	n := 0
-	for _, u := range um.Units() {
-		if u.State().Final() {
-			n++
-		}
-	}
-	return n
+	return m.WaitFor(e)
 }
 
 // unitDescriptions converts skeleton tasks to compute-unit descriptions.
@@ -211,12 +291,23 @@ func unitDescriptions(w *skeleton.Workload) []pilot.UnitDescription {
 
 // DeriveAndExecute is the full Execution Manager pipeline (Figure 1): gather
 // information, derive the strategy, enact it, and wait for completion.
-func (m *Manager) DeriveAndExecute(eng *sim.Sim, w *skeleton.Workload, cfg StrategyConfig) (*Report, error) {
+func (m *Manager) DeriveAndExecute(w *skeleton.Workload, cfg StrategyConfig) (*Report, error) {
 	s, err := Derive(w, m.bundle, cfg, m.rng)
 	if err != nil {
 		return nil, err
 	}
-	return m.ExecuteAndWait(eng, w, s)
+	return m.ExecuteAndWait(w, s)
+}
+
+// FeedbackWaits replays a report's observed pilot queue waits into the
+// bundle's predictive history, so later derivations see fresher forecasts —
+// the feedback loop staged execution (and any long-lived environment) uses.
+func (m *Manager) FeedbackWaits(r *Report) {
+	for pilotID, wait := range r.PilotWaits {
+		if res := m.bundle.Resource(resourceOf(pilotID)); res != nil {
+			res.ObserveWait(wait.Seconds())
+		}
+	}
 }
 
 // Links builds a LinkResolver over a name→link map, a convenience for

@@ -60,9 +60,9 @@ type Report struct {
 	Efficiency float64
 }
 
-// buildReport derives the report from the execution's shared trace.
+// buildReport derives the report from the execution's own trace.
 func buildReport(e *Execution) *Report {
-	rec := e.m.rec
+	rec := e.rec
 	r := &Report{
 		Strategy:        e.strategy,
 		TTC:             e.ended.Sub(e.started),

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"aimes/internal/sim"
 	"aimes/internal/skeleton"
 )
 
@@ -18,36 +17,32 @@ import (
 // The aggregate report sums per-stage TTCs (stages serialize by definition)
 // and merges component times and counters; Strategy records the last stage's
 // strategy.
-func (m *Manager) ExecuteStaged(eng *sim.Sim, w *skeleton.Workload, cfg StrategyConfig) (*Report, []*Report, error) {
+func (m *Manager) ExecuteStaged(w *skeleton.Workload, cfg StrategyConfig) (*Report, []*Report, error) {
 	if len(w.Stages) == 0 {
 		return nil, nil, fmt.Errorf("core: workload has no stages")
 	}
 	var stageReports []*Report
-	total := &Report{PilotWaits: make(map[string]time.Duration)}
-
-	for _, stage := range w.Stages {
-		sub := stageWorkload(w, stage)
-		if sub.TotalTasks() == 0 {
-			continue
-		}
+	for _, sub := range StageWorkloads(w) {
 		s, err := Derive(sub, m.bundle, cfg, m.rng)
 		if err != nil {
-			return nil, stageReports, fmt.Errorf("core: stage %q: %w", stage, err)
+			return nil, stageReports, fmt.Errorf("core: stage %q: %w", sub.Stages[0], err)
 		}
-		report, err := m.ExecuteAndWait(eng, sub, s)
+		report, err := m.ExecuteAndWait(sub, s)
 		if err != nil {
-			return nil, stageReports, fmt.Errorf("core: stage %q: %w", stage, err)
+			return nil, stageReports, fmt.Errorf("core: stage %q: %w", sub.Stages[0], err)
 		}
+		m.FeedbackWaits(report)
 		stageReports = append(stageReports, report)
+	}
+	return MergeStaged(stageReports), stageReports, nil
+}
 
-		// Feed observed pilot waits back into bundle history so the next
-		// stage's derivation sees fresher forecasts.
-		for pilotID, wait := range report.PilotWaits {
-			if r := m.bundle.Resource(resourceOf(pilotID)); r != nil {
-				r.ObserveWait(wait.Seconds())
-			}
-		}
-
+// MergeStaged merges per-stage reports into the aggregate: TTCs sum (stages
+// serialize by definition), counters and component times accumulate, and
+// Strategy records the last stage's strategy.
+func MergeStaged(stages []*Report) *Report {
+	total := &Report{PilotWaits: make(map[string]time.Duration)}
+	for _, report := range stages {
 		total.TTC += report.TTC
 		total.Tw += report.Tw
 		total.Tx += report.Tx
@@ -70,7 +65,21 @@ func (m *Manager) ExecuteStaged(eng *sim.Sim, w *skeleton.Workload, cfg Strategy
 	if total.TTC > 0 {
 		total.Throughput = float64(total.UnitsDone) / total.TTC.Hours()
 	}
-	return total, stageReports, nil
+	return total
+}
+
+// StageWorkloads splits a multistage workload into standalone per-stage
+// workloads in stage order, skipping stages with no tasks.
+func StageWorkloads(w *skeleton.Workload) []*skeleton.Workload {
+	var subs []*skeleton.Workload
+	for _, stage := range w.Stages {
+		sub := stageWorkload(w, stage)
+		if sub.TotalTasks() == 0 {
+			continue
+		}
+		subs = append(subs, sub)
+	}
+	return subs
 }
 
 // stageWorkload extracts one stage as a standalone workload. Cross-stage
@@ -93,7 +102,8 @@ func stageWorkload(w *skeleton.Workload, stage string) *skeleton.Workload {
 	return sub
 }
 
-// resourceOf extracts the resource name from a pilot ID "pilot.<name>.<n>".
+// resourceOf extracts the resource name from a pilot ID "pilot.<name>.<n>"
+// (or its namespaced form "pilot.<name>.<ns>-<n>").
 func resourceOf(pilotID string) string {
 	const prefix = "pilot."
 	if len(pilotID) <= len(prefix) {

@@ -25,7 +25,7 @@ func TestExecuteStagedRunsAllStages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total, stages, err := e.mgr.ExecuteStaged(e.eng, w, StrategyConfig{
+	total, stages, err := e.mgr.ExecuteStaged(w, StrategyConfig{
 		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 2, Selection: SelectRandom,
 	})
 	if err != nil {
@@ -56,7 +56,7 @@ func TestExecuteStagedFeedsBundleHistory(t *testing.T) {
 	for _, r := range e.bndl.Resources() {
 		before += r.HistoryLen()
 	}
-	if _, _, err := e.mgr.ExecuteStaged(e.eng, w, StrategyConfig{
+	if _, _, err := e.mgr.ExecuteStaged(w, StrategyConfig{
 		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 2, Selection: SelectRandom,
 	}); err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestExecuteStagedFeedsBundleHistory(t *testing.T) {
 func TestExecuteStagedEmptyWorkload(t *testing.T) {
 	e := newEnv(t, 82)
 	w := &skeleton.Workload{Name: "empty"}
-	if _, _, err := e.mgr.ExecuteStaged(e.eng, w, StrategyConfig{Pilots: 1, Selection: SelectRandom}); err == nil {
+	if _, _, err := e.mgr.ExecuteStaged(w, StrategyConfig{Pilots: 1, Selection: SelectRandom}); err == nil {
 		t.Fatal("empty workload staged")
 	}
 }
@@ -126,7 +126,7 @@ func TestExecuteStagedSkipsEmptyStages(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Stages = append(w.Stages, "ghost")
-	total, stages, err := e.mgr.ExecuteStaged(e.eng, w, StrategyConfig{
+	total, stages, err := e.mgr.ExecuteStaged(w, StrategyConfig{
 		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 2, Selection: SelectRandom,
 	})
 	if err != nil {
@@ -165,14 +165,14 @@ func TestStagedVersusIntegratedLocality(t *testing.T) {
 	// Give the integrated strategy a generous walltime so both stages run
 	// inside one pilot.
 	sInt.PilotWalltime = 6 * time.Hour
-	rInt, err := eInt.mgr.ExecuteAndWait(eInt.eng, wIntegrated, sInt)
+	rInt, err := eInt.mgr.ExecuteAndWait(wIntegrated, sInt)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	eStaged := newEnv(t, 84)
 	wStaged, _ := skeleton.Generate(app, 84)
-	rStaged, _, err := eStaged.mgr.ExecuteStaged(eStaged.eng, wStaged, StrategyConfig{
+	rStaged, _, err := eStaged.mgr.ExecuteStaged(wStaged, StrategyConfig{
 		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 1, Selection: SelectFixed,
 		FixedResources: []string{"stampede"},
 	})

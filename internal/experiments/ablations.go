@@ -411,9 +411,9 @@ func AblationStaged(w io.Writer, reps, workers int) error {
 			}
 			var report *core.Report
 			if staged {
-				report, _, err = env.mgr.ExecuteStaged(env.eng, wl, cfg)
+				report, _, err = env.mgr.ExecuteStaged(wl, cfg)
 			} else {
-				report, err = env.mgr.DeriveAndExecute(env.eng, wl, cfg)
+				report, err = env.mgr.DeriveAndExecute(wl, cfg)
 			}
 			if err != nil {
 				return err

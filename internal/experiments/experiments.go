@@ -267,7 +267,7 @@ func Run(spec RunSpec) Result {
 		cfg.Pilots = 0
 		cfg.AutoPilots = true
 	}
-	report, err := env.mgr.DeriveAndExecute(env.eng, w, cfg)
+	report, err := env.mgr.DeriveAndExecute(w, cfg)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -304,12 +304,12 @@ func RunAdaptive(spec RunSpec, acfg core.AdaptiveConfig) Result {
 		res.Err = err.Error()
 		return res
 	}
-	env.eng.Run()
-	if !exec.Done() {
-		res.Err = "workload incomplete"
+	report, err := env.mgr.WaitFor(exec)
+	if err != nil {
+		res.Err = err.Error()
 		return res
 	}
-	res.fill(exec.Report())
+	res.fill(report)
 	return res
 }
 

@@ -47,6 +47,7 @@ type System struct {
 	cfg     Config
 	rng     *rand.Rand
 	seq     int
+	ns      string // pilot-ID namespace, e.g. "j3" (empty outside multi-tenant runs)
 }
 
 // NewSystem creates the shared pilot-system context. The recorder may be
@@ -64,6 +65,21 @@ func NewSystem(eng sim.Engine, session *saga.Session, links LinkResolver,
 		panic("pilot: failure injection requires an RNG")
 	}
 	return &System{eng: eng, session: session, links: links, rec: rec, cfg: cfg, rng: rng}
+}
+
+// SetNamespace scopes pilot IDs to a tenant: with namespace "j3" pilots are
+// named "pilot.<resource>.j3-<n>" instead of "pilot.<resource>.<n>", so
+// concurrent executions sharing one engine (and one aggregate trace) stay
+// distinguishable. The namespace lands in the ID's final segment so parsers
+// that strip it to recover the resource name keep working.
+func (s *System) SetNamespace(ns string) { s.ns = ns }
+
+// pilotID builds the namespaced trace identity of the seq'th pilot.
+func (s *System) pilotID(resource string) string {
+	if s.ns == "" {
+		return fmt.Sprintf("pilot.%s.%d", resource, s.seq)
+	}
+	return fmt.Sprintf("pilot.%s.%s-%d", resource, s.ns, s.seq)
 }
 
 // Recorder exposes the trace recorder.
@@ -181,7 +197,7 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*Pilot, error) {
 	}
 	pm.sys.seq++
 	p := &Pilot{
-		id:          fmt.Sprintf("pilot.%s.%d", desc.Resource, pm.sys.seq),
+		id:          pm.sys.pilotID(desc.Resource),
 		desc:        desc,
 		sys:         pm.sys,
 		submittedAt: pm.sys.eng.Now(),

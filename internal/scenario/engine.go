@@ -120,13 +120,11 @@ func Run(s *Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for !exec.Done() && eng.Step() {
+	report, err := mgr.WaitFor(exec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	if !exec.Done() {
-		return nil, fmt.Errorf("scenario %s: simulation drained but workload incomplete (%s)",
-			s.Name, stuckSummary(exec))
-	}
-	res.Report = exec.Report()
+	res.Report = report
 
 	for _, p := range exec.Pilots() {
 		if p.State() == pilot.PilotFailed {
@@ -145,23 +143,9 @@ func Run(s *Scenario) (*Result, error) {
 	return res, nil
 }
 
-// stuckSummary describes an incomplete execution's pilot and unit states,
-// the context needed to diagnose a scenario that wedges the workload.
-func stuckSummary(e *core.Execution) string {
-	pilots := make(map[string]int)
-	for _, p := range e.Pilots() {
-		pilots[p.State().String()]++
-	}
-	units := make(map[string]int)
-	for _, u := range e.Units() {
-		units[u.State().String()]++
-	}
-	return fmt.Sprintf("pilots %v, units %v", pilots, units)
-}
-
 // injector applies timeline events to the live testbed and execution.
 type injector struct {
-	eng   *sim.Sim
+	eng   sim.Engine
 	tb    *site.Testbed
 	res   *Result
 	epoch sim.Time // enactment start; applied-event times are relative to it

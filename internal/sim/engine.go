@@ -83,6 +83,16 @@ type Engine interface {
 	Cancel(ev *Event) bool
 }
 
+// Stepper is implemented by engines whose time only advances when a driver
+// fires events explicitly (Sim). Engines that advance on their own (RealTime)
+// do not implement it; pumps use the distinction to decide between stepping
+// virtual time and blocking on wall-clock completion.
+type Stepper interface {
+	// Step fires the single earliest pending event, reporting false when the
+	// queue is empty.
+	Step() bool
+}
+
 // eventQueue is a min-heap ordered by (when, seq).
 type eventQueue []*Event
 
@@ -127,7 +137,10 @@ type Sim struct {
 // NewSim returns an empty simulation positioned at the epoch.
 func NewSim() *Sim { return &Sim{} }
 
-var _ Engine = (*Sim)(nil)
+var (
+	_ Engine  = (*Sim)(nil)
+	_ Stepper = (*Sim)(nil)
+)
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }

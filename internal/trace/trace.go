@@ -27,15 +27,28 @@ type Record struct {
 // concurrent use; in simulations all callbacks are serialized by the engine,
 // and each simulation run owns its Recorder.
 type Recorder struct {
-	records []Record
+	records   []Record
+	observers []func(Record)
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Observe registers fn to run synchronously on every appended record, in
+// registration order. Observers back live consumers of the trace — event
+// streams and aggregate (tee) recorders — and run under the same engine
+// serialization as Record itself, so they need no locking of their own.
+func (r *Recorder) Observe(fn func(Record)) {
+	r.observers = append(r.observers, fn)
+}
+
 // Record appends a state transition at time t.
 func (r *Recorder) Record(t sim.Time, entity, state, detail string) {
-	r.records = append(r.records, Record{Time: t, Entity: entity, State: state, Detail: detail})
+	rec := Record{Time: t, Entity: entity, State: state, Detail: detail}
+	r.records = append(r.records, rec)
+	for _, fn := range r.observers {
+		fn(rec)
+	}
 }
 
 // Len reports the number of records.

@@ -1,0 +1,405 @@
+package aimes
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aimes/internal/core"
+	"aimes/internal/trace"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int32
+
+// Job lifecycle states.
+const (
+	// JobPending is the zero state of a handle before enactment. Submit
+	// enacts synchronously, so jobs it returns are already JobRunning (or
+	// were rejected); JobPending is never observed on a submitted job.
+	JobPending JobState = iota
+	// JobRunning is an enacted job whose units are in flight.
+	JobRunning
+	// JobDone is a completed job with a report (individual units may still
+	// have failed; see Report.UnitsFailed).
+	JobDone
+	// JobFailed is a job that cannot complete (e.g. the engine drained with
+	// the workload incomplete); Err holds the cause.
+	JobFailed
+	// JobCanceled is a job ended by Cancel; the report accounts the
+	// canceled units.
+	JobCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("JobState(%d)", int32(s))
+}
+
+// Final reports whether the state is terminal.
+func (s JobState) Final() bool { return s >= JobDone }
+
+// Event is one state transition streamed live from a job's trace: pilot
+// transitions ("pilot.stampede.j3-1" → ACTIVE), unit transitions
+// ("unit.task-0007" → EXECUTING) and execution-manager strategy transitions
+// ("em" → ENACTING/ADAPTED/CANCELED/DONE).
+type Event struct {
+	// Job is the originating job's sequence number (Job.ID).
+	Job int
+	// Time is the engine time of the transition (offset from the epoch).
+	Time time.Duration
+	// Entity names what changed state, e.g. "pilot.comet.j2-1", "unit.t0004",
+	// or "em" for the execution manager itself.
+	Entity string
+	// State is the new state, e.g. "PENDING_ACTIVE", "EXECUTING", "ADAPTED".
+	State string
+	// Detail carries transition-specific context.
+	Detail string
+}
+
+// JobConfig configures one Submit call.
+type JobConfig struct {
+	// StrategyConfig holds the derivation knobs; ignored when Strategy is
+	// set. Submit validates it (Environment.Validate) before deriving.
+	StrategyConfig
+	// Strategy, when non-nil, is enacted verbatim instead of deriving one
+	// from StrategyConfig.
+	Strategy *Strategy
+	// Adaptive, when non-nil, enables runtime strategy adaptation (extra
+	// pilots on slow activation, lost-pilot replacement).
+	Adaptive *AdaptiveConfig
+	// EventBuffer overrides the environment's per-job Events capacity when
+	// positive.
+	EventBuffer int
+}
+
+// Job is an asynchronous handle on one submitted workload. All methods are
+// safe for concurrent use.
+type Job struct {
+	id   int
+	env  *Environment
+	exec *core.Execution
+	rec  *trace.Recorder
+
+	state        atomic.Int32
+	events       chan Event
+	eventsClosed atomic.Bool
+	dropped      atomic.Int64
+
+	mu           sync.Mutex // guards report, err, cancelReason, completed
+	completed    bool
+	report       *Report
+	err          error
+	cancelReason string
+	done         chan struct{}
+}
+
+// Submit validates, derives (unless cfg.Strategy is set) and enacts a
+// workload on the shared environment, returning an asynchronous Job handle
+// immediately. Any number of jobs run concurrently on the shared testbed:
+// each gets its own trace recorder, a namespaced pilot-ID space ("j<n>"),
+// and an event stream; the engine interleaves their scheduling fairly in
+// submission order at each timestep.
+//
+// ctx gates admission (a canceled context rejects the submission) and bounds
+// the job's lifetime: if ctx is canceled while the job runs, the job is
+// canceled. Waiting and job lifetime are otherwise independent — pass
+// context.Background() for an unbounded job.
+func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	buf := cfg.EventBuffer
+	if buf <= 0 {
+		buf = e.eventBuf
+	}
+	var (
+		job    *Job
+		reterr error
+	)
+	e.sync(func() {
+		var s Strategy
+		if cfg.Strategy != nil {
+			if w == nil || w.TotalTasks() == 0 {
+				reterr = fmt.Errorf("aimes: zero-task workload (generate tasks before submitting)")
+				return
+			}
+			s = *cfg.Strategy
+		} else {
+			if reterr = e.Validate(w, cfg.StrategyConfig); reterr != nil {
+				return
+			}
+			var err error
+			s, err = core.Derive(w, e.bndl, cfg.StrategyConfig, e.rng)
+			if err != nil {
+				reterr = err
+				return
+			}
+		}
+
+		id := e.jobSeq + 1
+		rec := trace.NewRecorder()
+		j := &Job{
+			id:     id,
+			env:    e,
+			rec:    rec,
+			events: make(chan Event, buf),
+			done:   make(chan struct{}),
+		}
+		ns := fmt.Sprintf("j%d", id)
+		rec.Observe(j.publish)
+		// Tee every record into the environment's aggregate trace so
+		// Recorder() keeps seeing whole-environment history. Entities whose
+		// IDs carry no namespace of their own ("em", "unit.<name>") are
+		// scoped to the job there, so same-named units of different tenants
+		// stay distinguishable; pilot IDs are namespaced at the source.
+		shared := e.mgr.Recorder()
+		rec.Observe(func(r trace.Record) {
+			shared.Record(r.Time, qualifyEntity(r.Entity, ns), r.State, r.Detail)
+		})
+
+		opts := core.ExecOptions{Recorder: rec, Namespace: ns}
+		var (
+			exec *core.Execution
+			err  error
+		)
+		if cfg.Adaptive != nil {
+			exec, err = e.mgr.ExecuteAdaptiveWith(w, s, *cfg.Adaptive, opts)
+		} else {
+			exec, err = e.mgr.ExecuteWith(w, s, opts)
+		}
+		if err != nil {
+			reterr = err
+			return
+		}
+		e.jobSeq = id
+		j.exec = exec
+		j.state.Store(int32(JobRunning))
+		exec.OnComplete(func(r *Report) { j.complete(r, nil) })
+		job = j
+	})
+	if reterr != nil {
+		return nil, reterr
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				job.Cancel("context: " + ctx.Err().Error())
+			case <-job.done:
+			}
+		}()
+	}
+	return job, nil
+}
+
+// ID returns the job's sequence number within its environment (1-based).
+func (j *Job) ID() int { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return JobState(j.state.Load()) }
+
+// Strategy returns the enacted execution strategy.
+func (j *Job) Strategy() Strategy { return j.exec.Strategy() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Report returns the final report, or nil while the job is running.
+func (j *Job) Report() *Report {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.report
+	default:
+		return nil
+	}
+}
+
+// Err returns the terminal error for failed jobs, or nil.
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.err
+	default:
+		return nil
+	}
+}
+
+// Events returns the job's live event stream: every pilot, unit and strategy
+// transition, in order, closed when the job ends. The channel is buffered;
+// if a consumer falls behind, excess events are dropped (EventsDropped) so
+// the simulation never blocks on a slow reader.
+func (j *Job) Events() <-chan Event { return j.events }
+
+// EventsDropped reports how many events were dropped because the Events
+// buffer was full.
+func (j *Job) EventsDropped() int64 { return j.dropped.Load() }
+
+// Wait blocks until the job completes and returns its report. On a
+// virtual-time environment the waiting goroutine pumps the engine (whoever
+// waits, advances time — concurrent waiters interleave on the shared
+// engine); on a wall-clock environment it blocks while timers fire.
+//
+// ctx bounds the wait only: when it expires, Wait returns ctx.Err() and the
+// job keeps running (use Cancel, or a Submit ctx, to stop the job itself).
+// Canceled jobs return their report with a nil error; inspect Job.State and
+// Report.UnitsCanceled to distinguish them.
+func (j *Job) Wait(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		select {
+		case <-j.done:
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return j.report, j.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if j.env.stepper == nil {
+			select {
+			case <-j.done:
+				j.mu.Lock()
+				defer j.mu.Unlock()
+				return j.report, j.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		j.env.pump(j)
+	}
+}
+
+// Cancel aborts a running job: every non-final unit is canceled, its pilots
+// are torn down, and the job completes immediately in state JobCanceled with
+// a report accounting the canceled units. Canceling a finished job is a
+// no-op.
+func (j *Job) Cancel(reason string) {
+	if reason == "" {
+		reason = "canceled"
+	}
+	j.env.sync(func() {
+		if j.finished() {
+			return
+		}
+		j.mu.Lock()
+		if j.cancelReason == "" {
+			j.cancelReason = reason
+		}
+		j.mu.Unlock()
+		j.exec.Cancel(reason)
+	})
+}
+
+// qualifyEntity scopes a job's non-namespaced trace entities for the
+// aggregate environment trace: "em" → "em.j3", "unit.x" → "unit.j3.x".
+// Pilot IDs already embed the namespace.
+func qualifyEntity(entity, ns string) string {
+	const unit = "unit."
+	switch {
+	case entity == "em":
+		return "em." + ns
+	case strings.HasPrefix(entity, unit):
+		return unit + ns + "." + entity[len(unit):]
+	}
+	return entity
+}
+
+// finished reports terminal state without blocking.
+func (j *Job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// publish streams one trace record to the job's event channel, dropping
+// rather than blocking when the consumer lags. It runs under the engine's
+// callback serialization.
+func (j *Job) publish(r trace.Record) {
+	if j.eventsClosed.Load() {
+		return
+	}
+	ev := Event{Job: j.id, Time: r.Time.Duration(), Entity: r.Entity,
+		State: r.State, Detail: r.Detail}
+	select {
+	case j.events <- ev:
+	default:
+		j.dropped.Add(1)
+	}
+}
+
+// complete records the terminal outcome exactly once and releases waiters
+// and event consumers.
+func (j *Job) complete(r *Report, err error) {
+	j.mu.Lock()
+	if j.completed {
+		j.mu.Unlock()
+		return
+	}
+	j.completed = true
+	j.report, j.err = r, err
+	st := JobDone
+	switch {
+	case j.cancelReason != "":
+		st = JobCanceled
+	case err != nil:
+		st = JobFailed
+	}
+	j.state.Store(int32(st))
+	j.mu.Unlock()
+	j.eventsClosed.Store(true)
+	close(j.events)
+	close(j.done)
+}
+
+// pumpBatch bounds how many events one Wait iteration fires while holding
+// the engine lock, so concurrent waiters, submitters and cancelers
+// interleave promptly.
+const pumpBatch = 64
+
+// pump advances virtual time on behalf of a waiting job: whoever waits,
+// steps. All engine access runs under e.mu, so concurrent waiters take
+// turns firing events; any waiter's step may complete any tenant's job.
+func (e *Environment) pump(j *Job) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < pumpBatch; i++ {
+		if j.finished() {
+			return
+		}
+		if !e.stepper.Step() {
+			// The engine drained with this job incomplete: nothing scheduled
+			// can make it progress, so fail it with the diagnostic state
+			// summary. Other live jobs fail the same way when their waiters
+			// observe the drain; new submissions refill the queue first.
+			j.complete(nil, j.exec.IncompleteError())
+			return
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package aimes_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aimes"
+	"aimes/internal/batch"
+)
+
+// submitN generates and submits n bag-of-tasks workloads on one shared
+// environment, returning the jobs in submission order.
+func submitN(t *testing.T, env *aimes.Environment, n, tasks int, cfg aimes.StrategyConfig) []*aimes.Job {
+	t.Helper()
+	jobs := make([]*aimes.Job, n)
+	for i := range jobs {
+		w, err := aimes.GenerateWorkload(aimes.BagOfTasks(tasks, aimes.UniformDuration()), int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := env.Submit(context.Background(), w, aimes.JobConfig{StrategyConfig: cfg})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// TestConcurrentJobsSharedEnvironment is the acceptance scenario of the
+// async API: 100 workloads submitted concurrently through Submit on one
+// shared Environment, all waited on via Job.Wait from separate goroutines, a
+// mid-flight Cancel taking effect, and events flowing on Job.Events — under
+// the race detector.
+func TestConcurrentJobsSharedEnvironment(t *testing.T) {
+	env, err := aimes.NewEnv(aimes.WithSeed(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	jobs := submitN(t, env, n, 8, aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+	})
+	for i, j := range jobs {
+		if j.ID() != i+1 {
+			t.Fatalf("job %d has ID %d", i, j.ID())
+		}
+		if j.State() != aimes.JobRunning {
+			t.Fatalf("job %d state %v after submit", i, j.State())
+		}
+	}
+
+	// Stream one running job's events from a dedicated consumer goroutine.
+	const watched = 7
+	eventCount := make(chan int, 1)
+	go func() {
+		count := 0
+		var first, last aimes.Event
+		for ev := range jobs[watched].Events() {
+			if count == 0 {
+				first = ev
+			}
+			last = ev
+			count++
+		}
+		if first.State != "ENACTING" || last.State != "DONE" {
+			t.Errorf("watched job events ran %q..%q, want ENACTING..DONE", first.State, last.State)
+		}
+		eventCount <- count
+	}()
+
+	// Cancel one tenant before anyone pumps: the cancellation must take
+	// effect without perturbing the other 99.
+	const canceled = 50
+	jobs[canceled].Cancel("tenant eviction test")
+	if st := jobs[canceled].State(); st != aimes.JobCanceled {
+		t.Fatalf("canceled job state %v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	reports := make([]*aimes.Report, n)
+	errs := make([]error, n)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *aimes.Job) {
+			defer wg.Done()
+			reports[i], errs[i] = j.Wait(ctx)
+		}(i, j)
+	}
+	wg.Wait()
+
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if reports[i] == nil {
+			t.Fatalf("job %d: nil report", i)
+		}
+		if i == canceled {
+			continue
+		}
+		if got := reports[i].UnitsDone; got != 8 {
+			t.Fatalf("job %d: %d units done, want 8", i, got)
+		}
+		if jobs[i].State() != aimes.JobDone {
+			t.Fatalf("job %d: state %v", i, jobs[i].State())
+		}
+	}
+	if got := reports[canceled].UnitsCanceled; got != 8 {
+		t.Fatalf("canceled job: %d units canceled, want 8", got)
+	}
+	if count := <-eventCount; count < 20 {
+		t.Fatalf("watched job streamed %d events", count)
+	}
+	if d := jobs[watched].EventsDropped(); d != 0 {
+		t.Fatalf("watched job dropped %d events", d)
+	}
+	// The canceled job's buffered stream is closed and replayable after the
+	// fact: it must record the strategy-level CANCELED transition.
+	sawCancel := false
+	for ev := range jobs[canceled].Events() {
+		if ev.Entity == "em" && ev.State == "CANCELED" {
+			sawCancel = true
+		}
+	}
+	if !sawCancel {
+		t.Fatal("canceled job streamed no em/CANCELED event")
+	}
+	// The aggregate environment trace saw every tenant, with unit and em
+	// entities scoped per job so same-named units never conflate.
+	if len(env.Recorder().ByState("ACTIVE")) == 0 {
+		t.Fatal("aggregate recorder empty")
+	}
+	for _, entity := range []string{"em.j1", "em.j100"} {
+		if len(env.Recorder().ByEntity(entity)) == 0 {
+			t.Fatalf("aggregate recorder has no records for %s", entity)
+		}
+	}
+	for _, rec := range env.Recorder().Records() {
+		if strings.HasPrefix(rec.Entity, "unit.") && !strings.HasPrefix(rec.Entity, "unit.j") {
+			t.Fatalf("aggregate unit entity %q not job-scoped", rec.Entity)
+		}
+	}
+}
+
+// TestConcurrentJobsDeterminism checks that N concurrent tenants on the
+// virtual engine are deterministic: equal seeds and equal submission orders
+// produce identical reports, regardless of how the concurrent waiters
+// interleave their pumping.
+func TestConcurrentJobsDeterminism(t *testing.T) {
+	const n = 12
+	run := func() []*aimes.Report {
+		env, err := aimes.NewEnv(aimes.WithSeed(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := submitN(t, env, n, 6, aimes.StrategyConfig{
+			Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+		})
+		var wg sync.WaitGroup
+		reports := make([]*aimes.Report, n)
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j *aimes.Job) {
+				defer wg.Done()
+				r, err := j.Wait(context.Background())
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+				}
+				reports[i] = r
+			}(i, j)
+		}
+		wg.Wait()
+		return reports
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] == nil || b[i] == nil {
+			t.Fatalf("job %d: missing report", i)
+		}
+		if a[i].TTC != b[i].TTC || a[i].Tw != b[i].Tw || a[i].Tx != b[i].Tx || a[i].Ts != b[i].Ts {
+			t.Fatalf("job %d diverged across same-seed runs: TTC %v vs %v", i, a[i].TTC, b[i].TTC)
+		}
+		if a[i].UnitsDone != b[i].UnitsDone || fmt.Sprint(a[i].PilotWaits) != fmt.Sprint(b[i].PilotWaits) {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// fastSites is a small testbed with millisecond-scale queue waits, usable on
+// the wall-clock engine.
+func fastSites() []aimes.SiteConfig {
+	var sites []aimes.SiteConfig
+	for _, name := range []string{"alpha", "beta"} {
+		sites = append(sites, aimes.SiteConfig{
+			Name: name, Nodes: 32, CoresPerNode: 4, Architecture: "beowulf",
+			WaitModel: batch.WaitModel{
+				MedianWait: 20 * time.Millisecond, Sigma: 0.3,
+				MinWait: 5 * time.Millisecond, MaxWait: 100 * time.Millisecond,
+			},
+			SubmitLatency: time.Millisecond, BandwidthMBps: 1000,
+			NetLatency: time.Millisecond, StorageGB: 10,
+		})
+	}
+	return sites
+}
+
+// TestRealTimeJobsAndCancel drives the identical Job API on the wall-clock
+// engine: two tenants run concurrently on a fast testbed, one is canceled
+// mid-flight, and both handles resolve. Run under -race this exercises the
+// Submit/Wait/Cancel entry points against live timer callbacks.
+func TestRealTimeJobsAndCancel(t *testing.T) {
+	env, err := aimes.NewEnv(
+		aimes.WithRealTime(),
+		aimes.WithSeed(7),
+		aimes.WithSites(fastSites()...),
+		aimes.WithPilotConfig(aimes.PilotConfig{
+			AgentDispatchOverhead: 2 * time.Millisecond,
+			DefaultMaxRestarts:    3,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := aimes.GenerateWorkload(aimes.AppSpec{
+		Name:   "short",
+		Stages: []aimes.StageSpec{{Name: "s", Tasks: 4, DurationS: aimes.ConstantSpec(0.15)}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := aimes.GenerateWorkload(aimes.AppSpec{
+		Name:   "long",
+		Stages: []aimes.StageSpec{{Name: "s", Tasks: 4, DurationS: aimes.ConstantSpec(30)}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aimes.StrategyConfig{Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	jShort, err := env.Submit(ctx, short, aimes.JobConfig{StrategyConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jLong, err := env.Submit(ctx, long, aimes.JobConfig{StrategyConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Events stream concurrently with timer callbacks.
+	sawActive := make(chan bool, 1)
+	go func() {
+		active := false
+		for ev := range jLong.Events() {
+			if ev.State == "ACTIVE" {
+				active = true
+			}
+		}
+		sawActive <- active
+	}()
+
+	time.AfterFunc(300*time.Millisecond, func() { jLong.Cancel("deadline exceeded") })
+
+	rShort, err := jShort.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rShort.UnitsDone != 4 {
+		t.Fatalf("short job: %d units done, want 4", rShort.UnitsDone)
+	}
+	rLong, err := jLong.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jLong.State() != aimes.JobCanceled {
+		t.Fatalf("long job state %v, want canceled", jLong.State())
+	}
+	if rLong.UnitsCanceled == 0 {
+		t.Fatal("cancel of the long job canceled no units")
+	}
+	if !<-sawActive {
+		t.Fatal("long job's event stream never saw a pilot ACTIVE")
+	}
+}
+
+// TestWaitContextExpiry checks that Wait's context bounds the wait without
+// killing the job.
+func TestWaitContextExpiry(t *testing.T) {
+	env, err := aimes.NewEnv(aimes.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := aimes.GenerateWorkload(aimes.BagOfTasks(4, aimes.UniformDuration()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := env.Submit(context.Background(), w, aimes.JobConfig{
+		StrategyConfig: aimes.StrategyConfig{Binding: aimes.EarlyBinding, Pilots: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := j.Wait(expired); err == nil {
+		t.Fatal("Wait ignored expired context")
+	}
+	if j.State() != aimes.JobRunning {
+		t.Fatalf("job state %v after expired Wait, want running", j.State())
+	}
+	r, err := j.Wait(context.Background())
+	if err != nil || r.UnitsDone != 4 {
+		t.Fatalf("job did not survive expired Wait: %v, %+v", err, r)
+	}
+}
+
+// TestSubmitContextCancelsJob checks that the submission context bounds the
+// job's lifetime.
+func TestSubmitContextCancelsJob(t *testing.T) {
+	env, err := aimes.NewEnv(
+		aimes.WithRealTime(),
+		aimes.WithSeed(8),
+		aimes.WithSites(fastSites()...),
+		aimes.WithPilotConfig(aimes.PilotConfig{
+			AgentDispatchOverhead: 2 * time.Millisecond,
+			DefaultMaxRestarts:    3,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := aimes.GenerateWorkload(aimes.AppSpec{
+		Name:   "long",
+		Stages: []aimes.StageSpec{{Name: "s", Tasks: 2, DurationS: aimes.ConstantSpec(30)}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := env.Submit(ctx, w, aimes.JobConfig{
+		StrategyConfig: aimes.StrategyConfig{Binding: aimes.EarlyBinding, Pilots: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.AfterFunc(200*time.Millisecond, cancel)
+	r, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != aimes.JobCanceled {
+		t.Fatalf("state %v, want canceled via submit ctx", j.State())
+	}
+	if r.UnitsDone+r.UnitsCanceled != 2 {
+		t.Fatalf("unit accounting off: %+v", r)
+	}
+}
