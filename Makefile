@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench scenarios ci
+.PHONY: build test race vet lint bench bench-check bench-baseline scenarios smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,32 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Runs every benchmark once; BenchmarkConcurrentJobs writes the
-# perf-trajectory record BENCH_jobs.json (multi-tenant jobs/sec).
+# Formatting + vet. CI layers staticcheck on top of this.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# Runs every benchmark once. BenchmarkConcurrentJobs sweeps shard counts
+# {1, 2, GOMAXPROCS} and writes the perf-trajectory record BENCH_jobs.json,
+# anchored at the repo root no matter which package directory go test uses
+# (see benchJobsPath in bench_test.go; AIMES_BENCH_OUT overrides it).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	@echo "--- BENCH_jobs.json"
 	@cat BENCH_jobs.json
+
+# Perf-regression gate: rerun the concurrent-jobs shard sweep and compare
+# against the committed BENCH_baseline.json (fails on a >25% jobs/s drop at
+# any shard count both recorded).
+bench-check:
+	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
+	$(GO) run ./cmd/bench-check
+
+# Refresh the committed baseline from a fresh sweep on this machine.
+bench-baseline:
+	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
+	$(GO) run ./cmd/bench-check -update
 
 # Validate and run every example scenario.
 scenarios: build
@@ -28,4 +48,12 @@ scenarios: build
 	done
 	$(GO) run ./cmd/aimes-scenario run examples/scenarios/outage.json
 
-ci: vet race bench
+# Smoke-run every example program under a timeout.
+smoke:
+	@for d in examples/*/; do \
+		case $$d in examples/scenarios/) continue;; esac; \
+		echo "--- $$d"; \
+		timeout 120 $(GO) run ./$$d || exit 1; \
+	done
+
+ci: lint race bench-check scenarios

@@ -33,8 +33,8 @@
 // # Concurrent jobs
 //
 // An Environment is multi-tenant: Submit enacts a workload and returns an
-// asynchronous Job handle immediately, so many workloads share one testbed,
-// one bundle and one engine concurrently:
+// asynchronous Job handle immediately, so many workloads run concurrently
+// across the environment's parallel simulation shards:
 //
 //	j1, _ := env.Submit(ctx, w1, aimes.JobConfig{StrategyConfig: cfg})
 //	j2, _ := env.Submit(ctx, w2, aimes.JobConfig{StrategyConfig: cfg})
@@ -47,6 +47,16 @@
 // on the wall-clock engine (WithRealTime) time advances on its own. The
 // blocking Run* methods are thin shims over Submit+Wait.
 //
+// # Sharding
+//
+// A virtual-time Environment is partitioned into parallel simulation shards
+// (WithShards, default runtime.GOMAXPROCS(0)): each shard is a complete,
+// independent engine stack, so jobs placed on different shards execute truly
+// in parallel with no shared engine lock. JobConfig.Placement selects
+// round-robin (default), least-loaded, or pinned placement; pin jobs that
+// need cross-run determinism — same seed + same per-shard submission order
+// reproduces identical reports regardless of other shards' traffic.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the paper
 // reproduction.
 package aimes
@@ -55,7 +65,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aimes/internal/bundle"
@@ -63,6 +75,7 @@ import (
 	"aimes/internal/netsim"
 	"aimes/internal/pilot"
 	"aimes/internal/saga"
+	"aimes/internal/shard"
 	"aimes/internal/sim"
 	"aimes/internal/site"
 	"aimes/internal/skeleton"
@@ -196,36 +209,83 @@ type EnvConfig struct {
 	Pilot *PilotConfig
 }
 
-// Environment is a ready-to-use multi-tenant execution environment: an
-// engine (virtual-time by default, wall-clock with WithRealTime), a resource
-// testbed, a SAGA session, a bundle, and an execution manager shared by any
-// number of concurrent jobs. Submit/Wait/Cancel are safe for concurrent use
-// from multiple goroutines; the blocking Run* methods are shims over them.
+// Environment is a ready-to-use multi-tenant execution environment,
+// partitioned into one or more parallel simulation shards. Each shard is a
+// complete, independent stack — an engine (virtual-time by default,
+// wall-clock with WithRealTime), a resource testbed, a SAGA session, a
+// bundle, and an execution manager — so jobs placed on different shards
+// execute truly in parallel with no shared engine lock. Submit places jobs
+// onto shards (JobConfig.Placement), and every job's trace tees through its
+// shard's recorder into one aggregate trace. Submit/Wait/Cancel are safe for
+// concurrent use from multiple goroutines; the blocking Run* methods are
+// shims over them.
 type Environment struct {
-	eng      sim.Engine
-	stepper  sim.Stepper // non-nil on virtual-time engines
-	testbed  *site.Testbed
-	bndl     *bundle.Bundle
-	mgr      *core.Manager
-	rng      *rand.Rand
+	shards   []*shardEnv
+	picker   *shard.Picker
 	eventBuf int
+	realTime bool
 
-	// mu serializes all engine access (enactment, stepping, cancellation) on
-	// virtual-time engines, where callbacks run on whichever goroutine pumps.
-	// Wall-clock engines serialize through their own Sync instead.
-	mu     sync.Mutex
+	// agg is the aggregate execution trace: every shard's job records,
+	// entity-qualified by job namespace. Shards buffer their records locally
+	// (no cross-shard lock on the simulation hot path) and Recorder drains
+	// the buffers on demand; aggMu serializes the drains.
+	aggMu sync.Mutex
+	agg   *trace.Recorder
+
+	// jobMu serializes shard placement and global job-ID allocation.
+	jobMu  sync.Mutex
 	jobSeq int
+}
+
+// shardEnv is one simulation shard: a full engine stack plus the mutex that
+// serializes all engine access (enactment, stepping, cancellation) on
+// virtual-time engines, where callbacks run on whichever goroutine pumps.
+// Wall-clock engines serialize through their own Sync instead.
+type shardEnv struct {
+	id      int
+	eng     sim.Engine
+	stepper sim.Stepper      // non-nil on virtual-time engines
+	batch   sim.BatchStepper // non-nil when the stepper fires batches
+	testbed *site.Testbed
+	bndl    *bundle.Bundle
+	mgr     *core.Manager
+	rng     *rand.Rand
+
+	mu       sync.Mutex
+	jobSeq   int          // shard-local job sequence; names the namespace
+	inflight atomic.Int64 // in-flight tasks, read by least-loaded placement
+
+	// pendingAgg buffers this shard's trace records for the environment
+	// aggregate. Appends run under the shard's engine serialization, so the
+	// simulation hot path takes no cross-shard lock; Environment.Recorder
+	// drains the buffer under sync.
+	pendingAgg []trace.Record
+}
+
+// sync runs fn serialized with the shard engine's callbacks: under Sync on
+// wall-clock engines, under the shard mutex on virtual-time engines. Every
+// entry point that touches a shard's enactment state goes through it.
+func (sh *shardEnv) sync(fn func()) {
+	if s, ok := sh.eng.(sim.Syncer); ok {
+		s.Sync(fn)
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn()
 }
 
 // Option configures NewEnv.
 type Option func(*envOptions)
 
 type envOptions struct {
-	seed     int64
-	sites    []SiteConfig
-	pilot    *PilotConfig
-	realTime bool
-	eventBuf int
+	seed      int64
+	sites     []SiteConfig
+	pilot     *PilotConfig
+	realTime  bool
+	eventBuf  int
+	shards    int
+	shardsSet bool
 }
 
 // WithSeed sets the seed driving all randomness; environments with equal
@@ -255,6 +315,25 @@ func WithRealTime() Option { return func(o *envOptions) { o.realTime = true } }
 // than stalling the simulation.
 func WithEventBuffer(n int) Option { return func(o *envOptions) { o.eventBuf = n } }
 
+// WithShards partitions the environment into n parallel simulation shards.
+// Each shard is a complete, independent engine stack (engine, testbed, SAGA
+// session, bundle, execution manager), so jobs placed on different shards
+// execute truly in parallel: concurrent waiters pump their own shard's
+// engine with no shared lock, and multi-tenant throughput scales with the
+// shard count up to the hardware's parallelism.
+//
+// The default is runtime.GOMAXPROCS(0) shards on the virtual-time engine and
+// exactly 1 with WithRealTime (wall-clock timers already run concurrently).
+// n must be at least 1; combining WithRealTime with n > 1 is rejected.
+//
+// Determinism is per-shard: the same environment seed and the same per-shard
+// submission order reproduce identical reports for the jobs of that shard,
+// regardless of traffic on other shards. Tenants that need this across runs
+// pin their jobs (JobConfig.Placement = PlacePinned).
+func WithShards(n int) Option {
+	return func(o *envOptions) { o.shards = n; o.shardsSet = true }
+}
+
 // NewEnv builds an execution environment from functional options:
 //
 //	env, err := aimes.NewEnv(aimes.WithSeed(42), aimes.WithSites(sites...))
@@ -266,6 +345,50 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	if o.eventBuf <= 0 {
 		o.eventBuf = 1024
 	}
+	if o.shardsSet {
+		if o.shards < 1 {
+			return nil, fmt.Errorf("aimes: WithShards(%d): shard count must be at least 1", o.shards)
+		}
+		if o.realTime && o.shards > 1 {
+			return nil, fmt.Errorf("aimes: WithShards(%d) with WithRealTime: the wall-clock engine advances on its own timers, so a real-time environment runs exactly one shard", o.shards)
+		}
+	}
+	n := o.shards
+	if !o.shardsSet {
+		if o.realTime {
+			n = 1
+		} else {
+			n = runtime.GOMAXPROCS(0)
+		}
+	}
+	env := &Environment{
+		picker:   shard.NewPicker(n),
+		eventBuf: o.eventBuf,
+		realTime: o.realTime,
+		agg:      trace.NewRecorder(),
+	}
+	for k := 0; k < n; k++ {
+		sh, err := newShardEnv(k, &o)
+		if err != nil {
+			return nil, err
+		}
+		// Tee the shard's trace into its aggregate buffer. Records arrive
+		// already entity-qualified (see Submit) and under the shard's own
+		// serialization, so concurrent shards never contend here; Recorder
+		// drains the buffers into the aggregate on demand.
+		sh.mgr.Recorder().Observe(func(r trace.Record) {
+			sh.pendingAgg = append(sh.pendingAgg, r)
+		})
+		env.shards = append(env.shards, sh)
+	}
+	return env, nil
+}
+
+// newShardEnv builds one complete shard stack. Shard 0 keeps the base seed,
+// so a single-shard environment reproduces pre-sharding trajectories
+// exactly; higher shards run on decorrelated, deterministic seeds.
+func newShardEnv(k int, o *envOptions) (*shardEnv, error) {
+	seed := shard.Seed(o.seed, k)
 	var eng sim.Engine
 	if o.realTime {
 		eng = sim.NewRealTime()
@@ -276,7 +399,7 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	if configs == nil {
 		configs = site.DefaultTestbed()
 	}
-	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(o.seed))
+	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(seed))
 	if err != nil {
 		return nil, err
 	}
@@ -296,14 +419,19 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	if o.pilot != nil {
 		pcfg = *o.pilot
 	}
-	rng := rand.New(rand.NewSource(o.seed ^ 0x414D4553)) // "AMES"
-	mgr := core.NewManager(eng, b, sess, links, pcfg, nil, rng)
-	env := &Environment{eng: eng, testbed: tb, bndl: b, mgr: mgr, rng: rng,
-		eventBuf: o.eventBuf}
-	if st, ok := eng.(sim.Stepper); ok {
-		env.stepper = st
+	rng := rand.New(rand.NewSource(seed ^ 0x414D4553)) // "AMES"
+	sh := &shardEnv{
+		id: k, eng: eng, testbed: tb, bndl: b,
+		mgr: core.NewManager(eng, b, sess, links, pcfg, nil, rng),
+		rng: rng,
 	}
-	return env, nil
+	if st, ok := eng.(sim.Stepper); ok {
+		sh.stepper = st
+	}
+	if bs, ok := eng.(sim.BatchStepper); ok {
+		sh.batch = bs
+	}
+	return sh, nil
 }
 
 // NewSimulatedEnvironment builds a deterministic simulated environment.
@@ -320,39 +448,70 @@ func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
 	return NewEnv(opts...)
 }
 
-// sync runs fn serialized with the engine's callbacks: under Sync on
-// wall-clock engines, under the environment mutex on virtual-time engines.
-// Every entry point that touches enactment state goes through it.
-func (e *Environment) sync(fn func()) {
-	if s, ok := e.eng.(sim.Syncer); ok {
-		s.Sync(fn)
-		return
+// Shards reports the number of parallel simulation shards.
+func (e *Environment) Shards() int { return len(e.shards) }
+
+// Bundle exposes shard 0's resource bundle for queries, monitoring and
+// discovery. All shards share the same site configurations; their predictive
+// wait histories diverge independently as jobs run. Use ShardBundle for a
+// specific shard's view.
+func (e *Environment) Bundle() *Bundle { return e.shards[0].bndl }
+
+// ShardBundle exposes shard k's resource bundle, or nil when k is out of
+// range.
+func (e *Environment) ShardBundle(k int) *Bundle {
+	if k < 0 || k >= len(e.shards) {
+		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	fn()
+	return e.shards[k].bndl
 }
 
-// Bundle exposes the environment's resource bundle for queries, monitoring
-// and discovery.
-func (e *Environment) Bundle() *Bundle { return e.bndl }
-
 // Recorder exposes the aggregate execution trace: every job's pilot, unit
-// and strategy transitions, teed from the per-job recorders. Read it only
-// while no job is running; live consumers should stream Job.Events instead.
-func (e *Environment) Recorder() *Recorder { return e.mgr.Recorder() }
+// and strategy transitions, teed from the per-shard recorders. Each call
+// drains the shards' buffered records into the aggregate; within a shard
+// records stay in order, and across shards they append shard by shard (use
+// the time-sorted accessors ByEntity/ByState for analysis — shards keep
+// independent virtual clocks). Read it only while no job is running; live
+// consumers should stream Job.Events instead.
+func (e *Environment) Recorder() *Recorder {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	for _, sh := range e.shards {
+		var pending []trace.Record
+		sh.sync(func() {
+			pending = sh.pendingAgg
+			sh.pendingAgg = nil
+		})
+		for _, r := range pending {
+			e.agg.Record(r.Time, r.Entity, r.State, r.Detail)
+		}
+	}
+	return e.agg
+}
+
+// ShardRecorder exposes shard k's trace (that shard's jobs only, entity-
+// qualified), or nil when k is out of range. The same read contract as
+// Recorder applies.
+func (e *Environment) ShardRecorder(k int) *Recorder {
+	if k < 0 || k >= len(e.shards) {
+		return nil
+	}
+	return e.shards[k].mgr.Recorder()
+}
 
 // Resources returns the testbed resource names.
-func (e *Environment) Resources() []string { return e.testbed.Names() }
+func (e *Environment) Resources() []string { return e.shards[0].testbed.Names() }
 
 // Derive makes the execution-strategy decisions for a workload without
-// enacting them.
+// enacting them, against shard 0's bundle view. (Submit derives against the
+// bundle of the shard the job lands on.)
 func (e *Environment) Derive(w *Workload, cfg StrategyConfig) (Strategy, error) {
+	sh := e.shards[0]
 	var (
 		s   Strategy
 		err error
 	)
-	e.sync(func() { s, err = core.Derive(w, e.bndl, cfg, e.rng) })
+	sh.sync(func() { s, err = core.Derive(w, sh.bndl, cfg, sh.rng) })
 	return s, err
 }
 
@@ -371,19 +530,29 @@ func (e *Environment) RunWorkload(w *Workload, cfg StrategyConfig) (*Report, err
 // RunStaged executes a multistage workload one stage at a time, re-deriving
 // the strategy before each stage and feeding observed queue waits back into
 // the bundle (paper §V, workflow decomposition). Each stage runs as one job,
-// so staged executions coexist with other tenants on the shared testbed. It
-// returns the aggregate report and the per-stage reports.
+// so staged executions coexist with other tenants on the shared testbed.
+// Every stage after the first is pinned to the first stage's shard, so the
+// wait-feedback loop sees the history it produced and per-shard determinism
+// covers the whole staged execution. It returns the aggregate report and the
+// per-stage reports.
 func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Report, error) {
 	if len(w.Stages) == 0 {
 		return nil, nil, fmt.Errorf("aimes: workload has no stages")
 	}
+	jcfg := JobConfig{StrategyConfig: cfg}
 	var stageReports []*Report
 	for _, sub := range core.StageWorkloads(w) {
-		report, err := e.runJob(sub, JobConfig{StrategyConfig: cfg})
+		j, err := e.Submit(context.Background(), sub, jcfg)
 		if err != nil {
 			return nil, stageReports, fmt.Errorf("aimes: stage %q: %w", sub.Stages[0], err)
 		}
-		e.sync(func() { e.mgr.FeedbackWaits(report) })
+		report, err := j.Wait(context.Background())
+		if err != nil {
+			return nil, stageReports, fmt.Errorf("aimes: stage %q: %w", sub.Stages[0], err)
+		}
+		sh := e.shards[j.Shard()]
+		sh.sync(func() { sh.mgr.FeedbackWaits(report) })
+		jcfg.Placement, jcfg.Shard = PlacePinned, j.Shard()
 		stageReports = append(stageReports, report)
 	}
 	return core.MergeStaged(stageReports), stageReports, nil
@@ -397,14 +566,16 @@ func (e *Environment) RunAdaptive(w *Workload, s Strategy, acfg AdaptiveConfig) 
 	return e.runJob(w, JobConfig{Strategy: &s, Adaptive: &acfg})
 }
 
-// RunApp generates the application (seeded by the environment seed), then
-// derives and enacts a strategy — the one-call entry point.
+// RunApp generates the application (seeded from shard 0's stream, which
+// carries the environment seed), then derives and enacts a strategy — the
+// one-call entry point.
 func (e *Environment) RunApp(app AppSpec, cfg StrategyConfig) (*Report, error) {
+	sh := e.shards[0]
 	var (
 		w   *Workload
 		err error
 	)
-	e.sync(func() { w, err = skeleton.Generate(app, e.rng.Int63()) })
+	sh.sync(func() { w, err = skeleton.Generate(app, sh.rng.Int63()) })
 	if err != nil {
 		return nil, err
 	}
@@ -420,11 +591,12 @@ func (e *Environment) runJob(w *Workload, cfg JobConfig) (*Report, error) {
 	return j.Wait(context.Background())
 }
 
-// NewMonitor starts a bundle monitor on the environment's engine. Note that
-// in a virtual-time environment time only advances while a job runs and a
-// client waits on it.
+// NewMonitor starts a bundle monitor on shard 0's engine and bundle. Note
+// that on a virtual-time shard time only advances while one of its jobs runs
+// and a client waits on it.
 func (e *Environment) NewMonitor(interval time.Duration) *Monitor {
-	return bundle.NewMonitor(e.eng, e.bndl, interval)
+	sh := e.shards[0]
+	return bundle.NewMonitor(sh.eng, sh.bndl, interval)
 }
 
 // Validate checks a workload/strategy-config pair against the environment
@@ -454,8 +626,8 @@ func (e *Environment) Validate(w *Workload, cfg StrategyConfig) error {
 			return fmt.Errorf("aimes: fixed selection without resources")
 		}
 		for _, name := range cfg.FixedResources {
-			if e.testbed.Site(name) == nil {
-				return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.testbed.Names())
+			if e.shards[0].testbed.Site(name) == nil {
+				return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.Resources())
 			}
 		}
 	default:

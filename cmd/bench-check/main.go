@@ -1,0 +1,144 @@
+// Command bench-check is the CI perf-regression gate for the multi-tenant
+// job throughput benchmark. It compares the freshly produced shard sweep
+// (BENCH_jobs.json, written by BenchmarkConcurrentJobs) against the
+// committed baseline (BENCH_baseline.json) and fails when jobs/s drops more
+// than the threshold below the baseline at any shard count both files
+// measured.
+//
+//	go test -bench BenchmarkConcurrentJobs -benchtime 1x -run '^$' .
+//	go run ./cmd/bench-check                  # gate against the baseline
+//	go run ./cmd/bench-check -update          # refresh the baseline
+//	go run ./cmd/bench-check -min-speedup 1.5 # also require the shard speedup
+//
+// Shard counts present in only one file (e.g. a different GOMAXPROCS than
+// the machine that recorded the baseline) are reported but not compared, so
+// the gate stays meaningful across runners with different core counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// sweepPoint mirrors one entry of the benchmark's shard sweep.
+type sweepPoint struct {
+	Shards         int     `json:"shards"`
+	Iterations     int     `json:"iterations"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	JobsPerSecond  float64 `json:"jobs_per_second"`
+}
+
+// record mirrors BENCH_jobs.json.
+type record struct {
+	Benchmark         string       `json:"benchmark"`
+	Jobs              int          `json:"jobs"`
+	TasksPerJob       int          `json:"tasks_per_job"`
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	Sweep             []sweepPoint `json:"sweep"`
+	JobsPerSecond     float64      `json:"jobs_per_second"`
+	PeakShards        int          `json:"peak_shards"`
+	SpeedupVsOneShard float64      `json:"speedup_vs_one_shard"`
+}
+
+func load(path string) (*record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Sweep) == 0 {
+		return nil, fmt.Errorf("%s: no shard sweep recorded", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	currentPath := flag.String("current", "BENCH_jobs.json", "fresh benchmark record to check")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline record")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional jobs/s drop below baseline")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum required speedup at the peak shard count vs one shard (0 disables; skipped when GOMAXPROCS < 2)")
+	update := flag.Bool("update", false, "copy the current record over the baseline and exit")
+	flag.Parse()
+
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal("reading current record: %v", err)
+	}
+
+	if *update {
+		buf, err := os.ReadFile(*currentPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("bench-check: baseline %s updated (%.0f jobs/s peak at %d shard(s), GOMAXPROCS %d)\n",
+			*baselinePath, cur.JobsPerSecond, cur.PeakShards, cur.GOMAXPROCS)
+		return
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	if cur.Jobs != base.Jobs || cur.TasksPerJob != base.TasksPerJob {
+		fatal("workload shape changed: current %d jobs × %d tasks, baseline %d × %d — refresh the baseline (-update)",
+			cur.Jobs, cur.TasksPerJob, base.Jobs, base.TasksPerJob)
+	}
+	if cur.GOMAXPROCS != base.GOMAXPROCS {
+		fmt.Printf("bench-check: note: GOMAXPROCS differs (current %d, baseline %d); comparing only shard counts both measured\n",
+			cur.GOMAXPROCS, base.GOMAXPROCS)
+	}
+
+	baseBy := map[int]sweepPoint{}
+	for _, p := range base.Sweep {
+		baseBy[p.Shards] = p
+	}
+	var failures []string
+	compared := 0
+	for _, p := range cur.Sweep {
+		b, ok := baseBy[p.Shards]
+		if !ok {
+			fmt.Printf("bench-check: shards=%-3d %8.0f jobs/s (no baseline point, skipped)\n", p.Shards, p.JobsPerSecond)
+			continue
+		}
+		compared++
+		floor := b.JobsPerSecond * (1 - *threshold)
+		verdict := "ok"
+		if p.JobsPerSecond < floor {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("shards=%d dropped more than %.0f%% below baseline", p.Shards, *threshold*100))
+		}
+		fmt.Printf("bench-check: shards=%-3d %8.0f jobs/s vs baseline %8.0f (floor %8.0f) %s\n",
+			p.Shards, p.JobsPerSecond, b.JobsPerSecond, floor, verdict)
+	}
+	if compared == 0 {
+		fatal("no shard count measured by both current and baseline — refresh the baseline (-update)")
+	}
+	fmt.Printf("bench-check: speedup at %d shard(s) vs 1: %.2fx\n", cur.PeakShards, cur.SpeedupVsOneShard)
+	if *minSpeedup > 0 {
+		if cur.GOMAXPROCS < 2 {
+			fmt.Printf("bench-check: GOMAXPROCS=%d, speedup requirement skipped (no hardware parallelism)\n", cur.GOMAXPROCS)
+		} else if cur.SpeedupVsOneShard < *minSpeedup {
+			failures = append(failures, fmt.Sprintf("speedup %.2fx below required %.2fx", cur.SpeedupVsOneShard, *minSpeedup))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "bench-check: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("bench-check: pass")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-check: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,9 +1,12 @@
 // Multi-tenant execution: many independent applications share one
-// environment — one testbed, one bundle, one engine — through the async Job
-// API. Each tenant submits its workload and gets a handle immediately;
-// whoever waits, pumps virtual time, so twenty concurrent jobs need no
-// dedicated driver. One tenant streams its pilot/unit/strategy transitions
-// live from Job.Events, and one is evicted mid-flight with Job.Cancel.
+// environment through the async Job API. The environment is partitioned into
+// parallel simulation shards (one full engine stack per shard, defaulting to
+// GOMAXPROCS), so tenants placed on different shards execute truly in
+// parallel; whoever waits, pumps its own shard's virtual time, so twenty
+// concurrent jobs need no dedicated driver. Tenants here use least-loaded
+// placement to balance heterogeneous sizes; one tenant streams its
+// pilot/unit/strategy transitions live from Job.Events, and one is evicted
+// mid-flight with Job.Cancel.
 package main
 
 import (
@@ -23,10 +26,16 @@ func main() {
 	}
 
 	const tenants = 20
-	cfg := aimes.StrategyConfig{
-		Binding:   aimes.LateBinding,
-		Scheduler: aimes.SchedBackfill,
-		Pilots:    2,
+	cfg := aimes.JobConfig{
+		StrategyConfig: aimes.StrategyConfig{
+			Binding:   aimes.LateBinding,
+			Scheduler: aimes.SchedBackfill,
+			Pilots:    2,
+		},
+		// Spread heterogeneous tenants by in-flight task count. The default
+		// is round-robin; tenants needing cross-run determinism use
+		// PlacePinned with an explicit Shard.
+		Placement: aimes.PlaceLeastLoaded,
 	}
 
 	// Submit all tenants up front; Submit returns as soon as the strategy is
@@ -40,12 +49,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if jobs[i], err = env.Submit(context.Background(), w, aimes.JobConfig{StrategyConfig: cfg}); err != nil {
+		if jobs[i], err = env.Submit(context.Background(), w, cfg); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("submitted %d tenants onto one %d-resource testbed\n\n",
-		tenants, len(env.Resources()))
+	fmt.Printf("submitted %d tenants onto one %d-resource testbed across %d simulation shard(s)\n\n",
+		tenants, len(env.Resources()), env.Shards())
 
 	// Tenant 0 exposes its live event stream.
 	var watcher sync.WaitGroup
@@ -66,8 +75,8 @@ func main() {
 	// Tenant 14 is evicted before its tasks can finish.
 	jobs[13].Cancel("tenant evicted by operator")
 
-	// Wait on every tenant concurrently; the waiters collectively pump the
-	// shared engine.
+	// Wait on every tenant concurrently; each waiter pumps its own tenant's
+	// shard, so shards advance in parallel.
 	var wg sync.WaitGroup
 	reports := make([]*aimes.Report, tenants)
 	for i, j := range jobs {
@@ -85,15 +94,16 @@ func main() {
 	watcher.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Println("tenant  state     tasks  done  canceled       TTC")
+	fmt.Println("tenant  shard  namespace  state     tasks  done  canceled       TTC")
 	var done int
 	for i, r := range reports {
 		total := r.UnitsDone + r.UnitsFailed + r.UnitsCanceled
-		fmt.Printf("%6d  %-8s %6d %5d %9d %8.0fs\n",
-			i+1, jobs[i].State(), total, r.UnitsDone, r.UnitsCanceled, r.TTC.Seconds())
+		fmt.Printf("%6d %6d  %-9s  %-8s %6d %5d %9d %8.0fs\n",
+			i+1, jobs[i].Shard(), jobs[i].Namespace(), jobs[i].State(),
+			total, r.UnitsDone, r.UnitsCanceled, r.TTC.Seconds())
 		done += r.UnitsDone
 	}
-	fmt.Printf("\n%d tenants (%d tasks executed, one eviction) in %v wall clock — %.0f jobs/sec\n",
-		tenants, done, elapsed.Round(time.Millisecond),
+	fmt.Printf("\n%d tenants (%d tasks executed, one eviction) on %d shard(s) in %v wall clock — %.0f jobs/sec\n",
+		tenants, done, env.Shards(), elapsed.Round(time.Millisecond),
 		float64(tenants)/elapsed.Seconds())
 }

@@ -59,7 +59,7 @@ type ExecOptions struct {
 	// it into an aggregate one via trace.Recorder.Observe if desired) so
 	// reports and event streams never mix tenants.
 	Recorder *trace.Recorder
-	// Namespace scopes pilot IDs, e.g. "j3" → "pilot.stampede.j3-1".
+	// Namespace scopes pilot IDs, e.g. "s0-j3" → "pilot.stampede.s0-j3-1".
 	Namespace string
 }
 

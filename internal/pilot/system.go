@@ -47,7 +47,7 @@ type System struct {
 	cfg     Config
 	rng     *rand.Rand
 	seq     int
-	ns      string // pilot-ID namespace, e.g. "j3" (empty outside multi-tenant runs)
+	ns      string // pilot-ID namespace, e.g. "s0-j3" (empty outside multi-tenant runs)
 }
 
 // NewSystem creates the shared pilot-system context. The recorder may be
@@ -67,11 +67,12 @@ func NewSystem(eng sim.Engine, session *saga.Session, links LinkResolver,
 	return &System{eng: eng, session: session, links: links, rec: rec, cfg: cfg, rng: rng}
 }
 
-// SetNamespace scopes pilot IDs to a tenant: with namespace "j3" pilots are
-// named "pilot.<resource>.j3-<n>" instead of "pilot.<resource>.<n>", so
-// concurrent executions sharing one engine (and one aggregate trace) stay
-// distinguishable. The namespace lands in the ID's final segment so parsers
-// that strip it to recover the resource name keep working.
+// SetNamespace scopes pilot IDs to a tenant: with namespace "s0-j3" pilots
+// are named "pilot.<resource>.s0-j3-<n>" instead of "pilot.<resource>.<n>",
+// so concurrent executions sharing one aggregate trace stay distinguishable
+// — across jobs and across the environment's simulation shards. The
+// namespace lands in the ID's final segment so parsers that strip it to
+// recover the resource name keep working.
 func (s *System) SetNamespace(ns string) { s.ns = ns }
 
 // pilotID builds the namespaced trace identity of the seq'th pilot.

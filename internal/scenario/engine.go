@@ -14,6 +14,7 @@ import (
 	"aimes/internal/netsim"
 	"aimes/internal/pilot"
 	"aimes/internal/saga"
+	"aimes/internal/shard"
 	"aimes/internal/sim"
 	"aimes/internal/site"
 	"aimes/internal/skeleton"
@@ -64,6 +65,9 @@ func Run(s *Scenario) (*Result, error) {
 	if seed == 0 {
 		seed = 42
 	}
+	// Target shard: the run adopts the shard's derived seed and namespace,
+	// so its trajectory and trace match an environment job pinned there.
+	seed = shard.Seed(seed, s.Shard)
 
 	eng := sim.NewSim()
 	configs, err := s.siteConfigs()
@@ -112,10 +116,21 @@ func Run(s *Scenario) (*Result, error) {
 		inj.schedule(ev)
 	}
 
+	// Enact under the shard-qualified namespace, teeing the run's records
+	// into the result trace with "em"/"unit" entities qualified the same way
+	// the environment aggregate qualifies them, so the scenario trace lines
+	// up entity-for-entity with an environment job pinned to the shard.
+	ns := shard.Namespace(s.Shard, 1)
+	runRec := trace.NewRecorder()
+	shared := mgr.Recorder()
+	runRec.Observe(func(r trace.Record) {
+		shared.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
+	})
+	opts := core.ExecOptions{Recorder: runRec, Namespace: ns}
 	if a := s.Strategy.Adaptive; a != nil {
-		exec, err = mgr.ExecuteAdaptive(w, strategy, a.config())
+		exec, err = mgr.ExecuteAdaptiveWith(w, strategy, a.config(), opts)
 	} else {
-		exec, err = mgr.Execute(w, strategy)
+		exec, err = mgr.ExecuteWith(w, strategy, opts)
 	}
 	if err != nil {
 		return nil, err

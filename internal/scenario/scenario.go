@@ -192,13 +192,20 @@ type TestbedSpec struct {
 
 // Scenario is one parsed scenario file.
 type Scenario struct {
-	Name        string       `json:"name"`
-	Description string       `json:"description,omitempty"`
-	Seed        int64        `json:"seed,omitempty"`
-	Workload    WorkloadSpec `json:"workload"`
-	Strategy    StrategySpec `json:"strategy"`
-	Testbed     TestbedSpec  `json:"testbed,omitempty"`
-	Events      []Event      `json:"events,omitempty"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	// Shard is the simulation shard the scenario targets: the run executes
+	// under the shard-qualified namespace "s<Shard>-j1", so its pilot IDs
+	// and trace entities line up with an Environment that runs the same
+	// workload pinned to that shard (see aimes.WithShards). The shard's
+	// seed is derived the same way the environment derives it, so shard 0
+	// (the default) reproduces the classic single-engine trajectories.
+	Shard    int          `json:"shard,omitempty"`
+	Workload WorkloadSpec `json:"workload"`
+	Strategy StrategySpec `json:"strategy"`
+	Testbed  TestbedSpec  `json:"testbed,omitempty"`
+	Events   []Event      `json:"events,omitempty"`
 }
 
 // Parse reads and validates a scenario from JSON.
@@ -228,6 +235,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Workload.Tasks <= 0 {
 		return fmt.Errorf("scenario %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
+	}
+	if s.Shard < 0 {
+		return fmt.Errorf("scenario %s: negative shard %d", s.Name, s.Shard)
 	}
 	if _, err := s.Workload.durationSpec(); err != nil {
 		return err

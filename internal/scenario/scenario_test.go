@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -236,5 +237,76 @@ func TestRunWANDegradation(t *testing.T) {
 	}
 	if degraded.Report.Ts <= clean.Report.Ts {
 		t.Fatalf("degraded staging %v not above clean %v", degraded.Report.Ts, clean.Report.Ts)
+	}
+}
+
+// TestShardTargeting checks the shard field end to end: validation, the
+// shard-qualified namespace on pilot IDs, and that different shards run
+// decorrelated (different seeds) while the same shard stays deterministic.
+func TestShardTargeting(t *testing.T) {
+	base := `{
+	  "name": "sharded",
+	  "seed": 9,
+	  "shard": %d,
+	  "workload": {"tasks": 16, "duration": "5m"},
+	  "strategy": {"binding": "late", "pilots": 2, "resources": ["stampede", "comet"]},
+	  "testbed": {"sites": [
+	    {"name": "stampede", "median_wait": "1m"},
+	    {"name": "comet", "median_wait": "1m"}
+	  ]}
+	}`
+	run := func(shard int) *Result {
+		s, err := ParseString(fmt.Sprintf(base, shard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.UnitsDone != 16 {
+			t.Fatalf("shard %d: units done = %d", shard, res.Report.UnitsDone)
+		}
+		return res
+	}
+	s0, s2, s2b := run(0), run(2), run(2)
+
+	// Pilot IDs and em/unit entities carry the target shard's namespace,
+	// matching the environment aggregate's convention for a pinned job.
+	for shard, res := range map[int]*Result{0: s0, 2: s2} {
+		want := fmt.Sprintf("s%d-j1-", shard)
+		found := false
+		for _, rec := range res.Recorder.Records() {
+			switch {
+			case strings.HasPrefix(rec.Entity, "pilot."):
+				if !strings.Contains(rec.Entity, want) {
+					t.Fatalf("shard %d pilot entity %q lacks namespace %q", shard, rec.Entity, want)
+				}
+				found = true
+			case rec.Entity == "em" || strings.HasPrefix(rec.Entity, "unit.") &&
+				!strings.HasPrefix(rec.Entity, fmt.Sprintf("unit.s%d-j1.", shard)):
+				t.Fatalf("shard %d entity %q not shard-qualified", shard, rec.Entity)
+			}
+		}
+		if !found {
+			t.Fatalf("shard %d: no pilot records", shard)
+		}
+		if len(res.Recorder.ByEntity(fmt.Sprintf("em.s%d-j1", shard))) == 0 {
+			t.Fatalf("shard %d: no qualified em records", shard)
+		}
+	}
+	// Same shard ⇒ identical trajectory; different shards ⇒ decorrelated
+	// seeds (the TTCs agreeing would be an unlikely coincidence).
+	if s2.Report.TTC != s2b.Report.TTC {
+		t.Fatalf("shard 2 nondeterministic: %v vs %v", s2.Report.TTC, s2b.Report.TTC)
+	}
+	if s0.Report.TTC == s2.Report.TTC {
+		t.Fatalf("shards 0 and 2 produced identical TTC %v; seeds not decorrelated", s0.Report.TTC)
+	}
+
+	if _, err := ParseString(`{"name": "bad", "shard": -1,
+	  "workload": {"tasks": 4}, "strategy": {"binding": "late"}}`); err == nil ||
+		!strings.Contains(err.Error(), "negative shard") {
+		t.Fatalf("negative shard error = %v", err)
 	}
 }

@@ -93,6 +93,16 @@ type Stepper interface {
 	Step() bool
 }
 
+// BatchStepper is implemented by steppable engines that can fire a bounded
+// batch of events in one call. Pumps that drive the engine under an external
+// lock (the sharded environment's per-shard pump) use it to amortize the
+// per-call overhead of Step while still yielding the lock between batches.
+type BatchStepper interface {
+	// StepN fires up to n pending events and reports how many fired; a
+	// return below n means the queue drained.
+	StepN(n int) int
+}
+
 // eventQueue is a min-heap ordered by (when, seq).
 type eventQueue []*Event
 
@@ -138,8 +148,9 @@ type Sim struct {
 func NewSim() *Sim { return &Sim{} }
 
 var (
-	_ Engine  = (*Sim)(nil)
-	_ Stepper = (*Sim)(nil)
+	_ Engine       = (*Sim)(nil)
+	_ Stepper      = (*Sim)(nil)
+	_ BatchStepper = (*Sim)(nil)
 )
 
 // Now returns the current virtual time.
@@ -211,6 +222,16 @@ func (s *Sim) Step() bool {
 		return true
 	}
 	return false
+}
+
+// StepN implements BatchStepper: it fires up to n pending events and reports
+// how many fired. A return below n means the queue drained.
+func (s *Sim) StepN(n int) int {
+	fired := 0
+	for fired < n && s.Step() {
+		fired++
+	}
+	return fired
 }
 
 // Run fires events until the queue drains. It returns the final virtual time.

@@ -344,3 +344,35 @@ func TestRNGChildNamespaces(t *testing.T) {
 		}
 	}
 }
+
+func TestStepNFiresBatchesAndReportsDrain(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	if n := s.StepN(4); n != 4 || fired != 4 {
+		t.Fatalf("StepN(4) = %d with %d fired", n, fired)
+	}
+	// Draining mid-batch reports fewer than requested.
+	if n := s.StepN(100); n != 6 || fired != 10 {
+		t.Fatalf("StepN(100) = %d with %d fired, want 6/10", n, fired)
+	}
+	if n := s.StepN(5); n != 0 {
+		t.Fatalf("StepN on empty queue = %d", n)
+	}
+}
+
+func TestStepNSkipsCanceledEvents(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	var evs []*Event
+	for i := 0; i < 6; i++ {
+		evs = append(evs, s.Schedule(time.Duration(i)*time.Second, func() { fired++ }))
+	}
+	s.Cancel(evs[1])
+	s.Cancel(evs[4])
+	if n := s.StepN(10); n != 4 || fired != 4 {
+		t.Fatalf("StepN over canceled events = %d with %d fired", n, fired)
+	}
+}

@@ -118,6 +118,22 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// QualifyEntity scopes a job's non-namespaced trace entities for an
+// aggregate (multi-tenant) trace: with namespace "s0-j3", "em" becomes
+// "em.s0-j3" and "unit.x" becomes "unit.s0-j3.x", so same-named units of
+// different tenants never conflate. Pilot IDs already embed the namespace at
+// the source (pilot.System.SetNamespace) and pass through unchanged.
+func QualifyEntity(entity, ns string) string {
+	const unit = "unit."
+	switch {
+	case entity == "em":
+		return "em." + ns
+	case strings.HasPrefix(entity, unit):
+		return unit + ns + "." + entity[len(unit):]
+	}
+	return entity
+}
+
 // Span is a half-open interval [Start, End) in virtual time.
 type Span struct {
 	Start, End sim.Time

@@ -223,3 +223,18 @@ func ExampleUnion() {
 	// Output:
 	// 2 disjoint spans covering 20s
 }
+
+func TestQualifyEntity(t *testing.T) {
+	cases := map[string]string{
+		"em":                  "em.s2-j7",
+		"unit.task-0004":      "unit.s2-j7.task-0004",
+		"pilot.comet.s2-j7-1": "pilot.comet.s2-j7-1", // already namespaced at source
+		"pilot.stampede.3":    "pilot.stampede.3",
+		"link.stampede":       "link.stampede",
+	}
+	for in, want := range cases {
+		if got := QualifyEntity(in, "s2-j7"); got != want {
+			t.Fatalf("QualifyEntity(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

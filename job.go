@@ -3,12 +3,12 @@ package aimes
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aimes/internal/core"
+	"aimes/internal/shard"
 	"aimes/internal/trace"
 )
 
@@ -54,22 +54,43 @@ func (s JobState) String() string {
 func (s JobState) Final() bool { return s >= JobDone }
 
 // Event is one state transition streamed live from a job's trace: pilot
-// transitions ("pilot.stampede.j3-1" → ACTIVE), unit transitions
+// transitions ("pilot.stampede.s0-j3-1" → ACTIVE), unit transitions
 // ("unit.task-0007" → EXECUTING) and execution-manager strategy transitions
 // ("em" → ENACTING/ADAPTED/CANCELED/DONE).
 type Event struct {
 	// Job is the originating job's sequence number (Job.ID).
 	Job int
-	// Time is the engine time of the transition (offset from the epoch).
+	// Time is the engine time of the transition (offset from the job's
+	// shard epoch; shards keep independent clocks).
 	Time time.Duration
-	// Entity names what changed state, e.g. "pilot.comet.j2-1", "unit.t0004",
-	// or "em" for the execution manager itself.
+	// Entity names what changed state, e.g. "pilot.comet.s1-j2-1",
+	// "unit.t0004", or "em" for the execution manager itself.
 	Entity string
 	// State is the new state, e.g. "PENDING_ACTIVE", "EXECUTING", "ADAPTED".
 	State string
 	// Detail carries transition-specific context.
 	Detail string
 }
+
+// Placement selects how Submit maps jobs onto the environment's parallel
+// simulation shards (see WithShards).
+type Placement = shard.Policy
+
+// Placement policies.
+const (
+	// PlaceRoundRobin cycles submissions across shards in order (the
+	// default). With a fixed submission sequence it is deterministic.
+	PlaceRoundRobin = shard.RoundRobin
+	// PlaceLeastLoaded places the job on the shard with the fewest
+	// in-flight tasks, balancing heterogeneous tenants at the cost of
+	// placement depending on completion timing.
+	PlaceLeastLoaded = shard.LeastLoaded
+	// PlacePinned places the job on JobConfig.Shard. Pin jobs that need
+	// cross-run determinism: the same environment seed and the same
+	// per-shard submission order reproduce identical reports, regardless of
+	// traffic on other shards.
+	PlacePinned = shard.Pinned
+)
 
 // JobConfig configures one Submit call.
 type JobConfig struct {
@@ -85,15 +106,24 @@ type JobConfig struct {
 	// EventBuffer overrides the environment's per-job Events capacity when
 	// positive.
 	EventBuffer int
+	// Placement selects the shard the job runs on: PlaceRoundRobin (the
+	// zero value), PlaceLeastLoaded, or PlacePinned.
+	Placement Placement
+	// Shard is the target shard index when Placement is PlacePinned
+	// (0 <= Shard < Environment.Shards()); ignored otherwise.
+	Shard int
 }
 
 // Job is an asynchronous handle on one submitted workload. All methods are
 // safe for concurrent use.
 type Job struct {
-	id   int
-	env  *Environment
-	exec *core.Execution
-	rec  *trace.Recorder
+	id    int
+	env   *Environment
+	shard *shardEnv
+	ns    string
+	tasks int
+	exec  *core.Execution
+	rec   *trace.Recorder
 
 	state        atomic.Int32
 	events       chan Event
@@ -110,10 +140,13 @@ type Job struct {
 
 // Submit validates, derives (unless cfg.Strategy is set) and enacts a
 // workload on the shared environment, returning an asynchronous Job handle
-// immediately. Any number of jobs run concurrently on the shared testbed:
-// each gets its own trace recorder, a namespaced pilot-ID space ("j<n>"),
-// and an event stream; the engine interleaves their scheduling fairly in
-// submission order at each timestep.
+// immediately. The job is placed on one of the environment's simulation
+// shards (cfg.Placement: round-robin by default, least-loaded, or pinned);
+// any number of jobs run concurrently, and jobs on different shards execute
+// truly in parallel. Each job gets its own trace recorder, a shard-qualified
+// pilot-ID namespace ("s<shard>-j<seq>", shard-local sequence), and an event
+// stream; within a shard the engine interleaves tenants fairly in submission
+// order at each timestep.
 //
 // ctx gates admission (a canceled context rejects the submission) and bounds
 // the job's lifetime: if ctx is canceled while the job runs, the job is
@@ -130,49 +163,69 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	if buf <= 0 {
 		buf = e.eventBuf
 	}
+	// Validate before placement, so rejected submissions perturb neither the
+	// round-robin cursor nor any ID sequence. (Derivation itself can still
+	// fail on the shard; see the ID rollback below.)
+	if cfg.Strategy != nil {
+		if w == nil || w.TotalTasks() == 0 {
+			return nil, fmt.Errorf("aimes: zero-task workload (generate tasks before submitting)")
+		}
+	} else if err := e.Validate(w, cfg.StrategyConfig); err != nil {
+		return nil, err
+	}
+
+	// Placement and global-ID allocation hold the submission lock only
+	// briefly — never across the shard's derive/enact critical section — so
+	// a busy shard cannot stall submissions to the others.
+	e.jobMu.Lock()
+	k, err := e.picker.Pick(cfg.Placement, cfg.Shard, e.shardLoad)
+	if err != nil {
+		e.jobMu.Unlock()
+		return nil, err
+	}
+	sh := e.shards[k]
+	id := e.jobSeq + 1
+	e.jobSeq = id
+	e.jobMu.Unlock()
+
 	var (
 		job    *Job
 		reterr error
 	)
-	e.sync(func() {
+	sh.sync(func() {
 		var s Strategy
 		if cfg.Strategy != nil {
-			if w == nil || w.TotalTasks() == 0 {
-				reterr = fmt.Errorf("aimes: zero-task workload (generate tasks before submitting)")
-				return
-			}
 			s = *cfg.Strategy
 		} else {
-			if reterr = e.Validate(w, cfg.StrategyConfig); reterr != nil {
-				return
-			}
 			var err error
-			s, err = core.Derive(w, e.bndl, cfg.StrategyConfig, e.rng)
+			s, err = core.Derive(w, sh.bndl, cfg.StrategyConfig, sh.rng)
 			if err != nil {
 				reterr = err
 				return
 			}
 		}
 
-		id := e.jobSeq + 1
+		ns := shard.Namespace(sh.id, sh.jobSeq+1)
 		rec := trace.NewRecorder()
 		j := &Job{
 			id:     id,
 			env:    e,
+			shard:  sh,
+			ns:     ns,
+			tasks:  w.TotalTasks(),
 			rec:    rec,
 			events: make(chan Event, buf),
 			done:   make(chan struct{}),
 		}
-		ns := fmt.Sprintf("j%d", id)
 		rec.Observe(j.publish)
-		// Tee every record into the environment's aggregate trace so
-		// Recorder() keeps seeing whole-environment history. Entities whose
-		// IDs carry no namespace of their own ("em", "unit.<name>") are
-		// scoped to the job there, so same-named units of different tenants
-		// stay distinguishable; pilot IDs are namespaced at the source.
-		shared := e.mgr.Recorder()
+		// Tee every record into the shard's trace (which in turn tees into
+		// the environment aggregate, see NewEnv). Entities whose IDs carry
+		// no namespace of their own ("em", "unit.<name>") are scoped to the
+		// job, so same-named units of different tenants stay
+		// distinguishable; pilot IDs are namespaced at the source.
+		shardRec := sh.mgr.Recorder()
 		rec.Observe(func(r trace.Record) {
-			shared.Record(r.Time, qualifyEntity(r.Entity, ns), r.State, r.Detail)
+			shardRec.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
 		})
 
 		opts := core.ExecOptions{Recorder: rec, Namespace: ns}
@@ -181,21 +234,29 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 			err  error
 		)
 		if cfg.Adaptive != nil {
-			exec, err = e.mgr.ExecuteAdaptiveWith(w, s, *cfg.Adaptive, opts)
+			exec, err = sh.mgr.ExecuteAdaptiveWith(w, s, *cfg.Adaptive, opts)
 		} else {
-			exec, err = e.mgr.ExecuteWith(w, s, opts)
+			exec, err = sh.mgr.ExecuteWith(w, s, opts)
 		}
 		if err != nil {
 			reterr = err
 			return
 		}
-		e.jobSeq = id
+		sh.jobSeq++
+		sh.inflight.Add(int64(j.tasks))
 		j.exec = exec
 		j.state.Store(int32(JobRunning))
 		exec.OnComplete(func(r *Report) { j.complete(r, nil) })
 		job = j
 	})
 	if reterr != nil {
+		// Return the global ID unless a later submission already claimed the
+		// next one (then the gap is unavoidable and harmless).
+		e.jobMu.Lock()
+		if e.jobSeq == id {
+			e.jobSeq = id - 1
+		}
+		e.jobMu.Unlock()
 		return nil, reterr
 	}
 	if ctx.Done() != nil {
@@ -210,8 +271,22 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	return job, nil
 }
 
-// ID returns the job's sequence number within its environment (1-based).
+// shardLoad reports shard k's in-flight task count, the least-loaded
+// placement signal.
+func (e *Environment) shardLoad(k int) int { return int(e.shards[k].inflight.Load()) }
+
+// ID returns the job's sequence number within its environment (1-based,
+// across all shards).
 func (j *Job) ID() int { return j.id }
+
+// Shard returns the index of the simulation shard the job was placed on.
+func (j *Job) Shard() int { return j.shard.id }
+
+// Namespace returns the job's shard-qualified namespace, "s<shard>-j<seq>"
+// with a shard-local sequence number. It scopes the job's pilot IDs
+// ("pilot.<resource>.s0-j3-1") and its "em"/"unit" entities in the aggregate
+// trace ("em.s0-j3", "unit.s0-j3.<name>").
+func (j *Job) Namespace() string { return j.ns }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState { return JobState(j.state.Load()) }
@@ -257,9 +332,10 @@ func (j *Job) Events() <-chan Event { return j.events }
 func (j *Job) EventsDropped() int64 { return j.dropped.Load() }
 
 // Wait blocks until the job completes and returns its report. On a
-// virtual-time environment the waiting goroutine pumps the engine (whoever
-// waits, advances time — concurrent waiters interleave on the shared
-// engine); on a wall-clock environment it blocks while timers fire.
+// virtual-time environment the waiting goroutine pumps the job's shard
+// (whoever waits, advances that shard's time — concurrent waiters interleave
+// on the same shard and run in parallel across shards); on a wall-clock
+// environment it blocks while timers fire.
 //
 // ctx bounds the wait only: when it expires, Wait returns ctx.Err() and the
 // job keeps running (use Cancel, or a Submit ctx, to stop the job itself).
@@ -279,7 +355,7 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 			return nil, ctx.Err()
 		default:
 		}
-		if j.env.stepper == nil {
+		if j.shard.stepper == nil {
 			select {
 			case <-j.done:
 				j.mu.Lock()
@@ -289,7 +365,7 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 				return nil, ctx.Err()
 			}
 		}
-		j.env.pump(j)
+		j.shard.pump(j)
 	}
 }
 
@@ -301,7 +377,7 @@ func (j *Job) Cancel(reason string) {
 	if reason == "" {
 		reason = "canceled"
 	}
-	j.env.sync(func() {
+	j.shard.sync(func() {
 		if j.finished() {
 			return
 		}
@@ -312,20 +388,6 @@ func (j *Job) Cancel(reason string) {
 		j.mu.Unlock()
 		j.exec.Cancel(reason)
 	})
-}
-
-// qualifyEntity scopes a job's non-namespaced trace entities for the
-// aggregate environment trace: "em" → "em.j3", "unit.x" → "unit.j3.x".
-// Pilot IDs already embed the namespace.
-func qualifyEntity(entity, ns string) string {
-	const unit = "unit."
-	switch {
-	case entity == "em":
-		return "em." + ns
-	case strings.HasPrefix(entity, unit):
-		return unit + ns + "." + entity[len(unit):]
-	}
-	return entity
 }
 
 // finished reports terminal state without blocking.
@@ -373,33 +435,52 @@ func (j *Job) complete(r *Report, err error) {
 	}
 	j.state.Store(int32(st))
 	j.mu.Unlock()
+	j.shard.inflight.Add(int64(-j.tasks))
 	j.eventsClosed.Store(true)
 	close(j.events)
 	close(j.done)
 }
 
 // pumpBatch bounds how many events one Wait iteration fires while holding
-// the engine lock, so concurrent waiters, submitters and cancelers
-// interleave promptly.
+// the shard lock, so concurrent waiters, submitters and cancelers of the
+// same shard interleave promptly.
 const pumpBatch = 64
 
 // pump advances virtual time on behalf of a waiting job: whoever waits,
-// steps. All engine access runs under e.mu, so concurrent waiters take
-// turns firing events; any waiter's step may complete any tenant's job.
-func (e *Environment) pump(j *Job) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// steps — and only this job's shard, so waiters on different shards fire
+// events truly in parallel. All access to one shard's engine runs under its
+// mutex; concurrent waiters of the same shard take turns firing batches, and
+// any waiter's step may complete any tenant's job on that shard.
+func (sh *shardEnv) pump(j *Job) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j.finished() {
+		return
+	}
+	if sh.stepBatch(j) && !j.finished() {
+		// The shard's engine drained with this job incomplete: nothing
+		// scheduled can make it progress, so fail it with the diagnostic
+		// state summary. Other live jobs on the shard fail the same way when
+		// their waiters observe the drain; new submissions refill the queue
+		// first.
+		j.complete(nil, j.exec.IncompleteError())
+	}
+}
+
+// stepBatch fires up to pumpBatch events on the shard's engine and reports
+// whether the event queue drained. Batch-capable engines fire in one call;
+// otherwise events fire one at a time, stopping early once j completes.
+func (sh *shardEnv) stepBatch(j *Job) (drained bool) {
+	if sh.batch != nil {
+		return sh.batch.StepN(pumpBatch) < pumpBatch
+	}
 	for i := 0; i < pumpBatch; i++ {
 		if j.finished() {
-			return
+			return false
 		}
-		if !e.stepper.Step() {
-			// The engine drained with this job incomplete: nothing scheduled
-			// can make it progress, so fail it with the diagnostic state
-			// summary. Other live jobs fail the same way when their waiters
-			// observe the drain; new submissions refill the queue first.
-			j.complete(nil, j.exec.IncompleteError())
-			return
+		if !sh.stepper.Step() {
+			return true
 		}
 	}
+	return false
 }

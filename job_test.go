@@ -133,19 +133,28 @@ func TestConcurrentJobsSharedEnvironment(t *testing.T) {
 		t.Fatal("canceled job streamed no em/CANCELED event")
 	}
 	// The aggregate environment trace saw every tenant, with unit and em
-	// entities scoped per job so same-named units never conflate.
+	// entities scoped per job (shard-qualified namespaces) so same-named
+	// units never conflate.
 	if len(env.Recorder().ByState("ACTIVE")) == 0 {
 		t.Fatal("aggregate recorder empty")
 	}
-	for _, entity := range []string{"em.j1", "em.j100"} {
-		if len(env.Recorder().ByEntity(entity)) == 0 {
-			t.Fatalf("aggregate recorder has no records for %s", entity)
+	for _, j := range []*aimes.Job{jobs[0], jobs[n-1]} {
+		if len(env.Recorder().ByEntity("em."+j.Namespace())) == 0 {
+			t.Fatalf("aggregate recorder has no records for em.%s", j.Namespace())
 		}
 	}
 	for _, rec := range env.Recorder().Records() {
-		if strings.HasPrefix(rec.Entity, "unit.") && !strings.HasPrefix(rec.Entity, "unit.j") {
+		if strings.HasPrefix(rec.Entity, "unit.") && !strings.HasPrefix(rec.Entity, "unit.s") {
 			t.Fatalf("aggregate unit entity %q not job-scoped", rec.Entity)
 		}
+	}
+	// Every shard's own trace tees into the aggregate.
+	total := 0
+	for k := 0; k < env.Shards(); k++ {
+		total += env.ShardRecorder(k).Len()
+	}
+	if total != env.Recorder().Len() {
+		t.Fatalf("shard traces hold %d records, aggregate %d", total, env.Recorder().Len())
 	}
 }
 
