@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline scenarios smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,10 @@ bench:
 	@echo "--- BENCH_jobs.json"
 	@cat BENCH_jobs.json
 
-# Perf-regression gate: rerun the concurrent-jobs shard sweep and compare
-# against the committed BENCH_baseline.json (fails on a >25% jobs/s drop at
-# any shard count both recorded).
+# Perf-regression gate: rerun the concurrent-jobs shard sweep (including the
+# skewed-load stealing point) and compare against the committed
+# BENCH_baseline.json (fails on a >25% jobs/s drop at any shard count both
+# recorded, or a skewed-load ratio under 0.70 on multi-core machines).
 bench-check:
 	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
 	$(GO) run ./cmd/bench-check
@@ -40,6 +41,14 @@ bench-check:
 bench-baseline:
 	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
 	$(GO) run ./cmd/bench-check -update
+
+# Slow-regression check: every BenchmarkConcurrentJobs run appends one record
+# to BENCH_history.jsonl; this reruns the sweep and flags the newest record
+# drifting >25% below the median of the last 20 comparable runs — the kind of
+# erosion no single-run gate sees.
+bench-drift:
+	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
+	$(GO) run ./cmd/bench-check -drift 20
 
 # Validate and run every example scenario.
 scenarios: build

@@ -53,9 +53,13 @@
 // (WithShards, default runtime.GOMAXPROCS(0)): each shard is a complete,
 // independent engine stack, so jobs placed on different shards execute truly
 // in parallel with no shared engine lock. JobConfig.Placement selects
-// round-robin (default), least-loaded, or pinned placement; pin jobs that
-// need cross-run determinism — same seed + same per-shard submission order
-// reproduces identical reports regardless of other shards' traffic.
+// round-robin (default), least-loaded by weighted expected work, or pinned
+// placement; pin jobs that need cross-run determinism — same seed + same
+// per-shard submission order reproduces identical reports regardless of
+// other shards' traffic. With WithWorkStealing a skewed tenant mix still
+// saturates the hardware: still-queued jobs migrate to less-loaded shards
+// through a migration-safe handoff, while pinned tenants' shards stay
+// sealed against migrants.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the paper
 // reproduction.
@@ -222,8 +226,16 @@ type EnvConfig struct {
 type Environment struct {
 	shards   []*shardEnv
 	picker   *shard.Picker
+	stealer  *shard.Stealer
 	eventBuf int
 	realTime bool
+
+	// steal enables cross-shard work stealing (WithWorkStealing on a
+	// multi-shard virtual-time environment): Submit keeps at most window
+	// jobs enacted per shard and queues the rest un-enacted, which is what
+	// makes them safe to migrate.
+	steal  bool
+	window int
 
 	// agg is the aggregate execution trace: every shard's job records,
 	// entity-qualified by job namespace. Shards buffer their records locally
@@ -242,18 +254,36 @@ type Environment struct {
 // virtual-time engines, where callbacks run on whichever goroutine pumps.
 // Wall-clock engines serialize through their own Sync instead.
 type shardEnv struct {
-	id      int
-	eng     sim.Engine
-	stepper sim.Stepper      // non-nil on virtual-time engines
-	batch   sim.BatchStepper // non-nil when the stepper fires batches
-	testbed *site.Testbed
-	bndl    *bundle.Bundle
-	mgr     *core.Manager
-	rng     *rand.Rand
+	id       int
+	eng      sim.Engine
+	stepper  sim.Stepper      // non-nil on virtual-time engines
+	batch    sim.BatchStepper // non-nil when the stepper fires batches
+	quiescer sim.Quiescer     // non-nil when the engine can report runnability
+	testbed  *site.Testbed
+	bndl     *bundle.Bundle
+	mgr      *core.Manager
+	rng      *rand.Rand
 
-	mu       sync.Mutex
-	jobSeq   int          // shard-local job sequence; names the namespace
-	inflight atomic.Int64 // in-flight tasks, read by least-loaded placement
+	mu     sync.Mutex
+	jobSeq int // shard-local job sequence; names the namespace
+
+	// Admission state, guarded by mu (all writers hold the engine lock):
+	// queue holds submitted jobs awaiting enactment behind the admission
+	// window — still pure descriptors, which is what makes them migratable —
+	// and running counts enacted, unfinished jobs. Without work stealing the
+	// window is unbounded and the queue stays empty.
+	queue     []*Job
+	running   int
+	admitting bool // admission-loop reentrancy guard (completions re-enter)
+
+	// Load signals read lock-free by placement and stealing decisions.
+	// pendingCost is the expected work submitted and not yet finished;
+	// doneCost/busyNanos feed the observed-throughput weighting: cost
+	// completed versus wall-clock time this shard's engine spent firing
+	// events. Costs are in milli-core-seconds (Workload.CoreSeconds × 1000).
+	pendingCost atomic.Int64
+	doneCost    atomic.Int64
+	busyNanos   atomic.Int64
 
 	// pendingAgg buffers this shard's trace records for the environment
 	// aggregate. Appends run under the shard's engine serialization, so the
@@ -286,6 +316,7 @@ type envOptions struct {
 	eventBuf  int
 	shards    int
 	shardsSet bool
+	steal     bool
 }
 
 // WithSeed sets the seed driving all randomness; environments with equal
@@ -334,6 +365,30 @@ func WithShards(n int) Option {
 	return func(o *envOptions) { o.shards = n; o.shardsSet = true }
 }
 
+// WithWorkStealing enables cross-shard work stealing, so a skewed tenant mix
+// still saturates the hardware: Submit keeps a bounded number of jobs
+// enacted per shard (the admission window) and queues the rest un-enacted.
+// A queued job is a pure descriptor — no pilots, no events, no randomness
+// drawn — so it can be handed off to a less-loaded shard with a
+// migration-safe handoff: the destination assigns a fresh namespace and
+// derives the strategy from its own seeded randomness, recording an "em"
+// MIGRATED trace event. Waiters of queued migratable jobs migrate them,
+// completing waiters rebalance one queued job on their way out, and waiters
+// finding their shard's lock contended help-pump the most loaded shard in
+// bounded, lock-ordered batches (see StealStats).
+//
+// What migrates and what does not: only queued, never-enacted jobs move —
+// an enacted job's pilots and events stay on its shard and are only ever
+// pumped there. Jobs placed by round-robin or least-loaded migrate by
+// default; pinned jobs never migrate unless JobConfig.Migrate is
+// MigrateAllow, and a pinned non-migratable submission permanently seals its
+// shard against incoming migrants, preserving the per-shard determinism
+// contract for that tenant (see the Migrate policy for the caveats).
+//
+// Work stealing requires the virtual-time engine (combining it with
+// WithRealTime is rejected) and only has effect with at least two shards.
+func WithWorkStealing() Option { return func(o *envOptions) { o.steal = true } }
+
 // NewEnv builds an execution environment from functional options:
 //
 //	env, err := aimes.NewEnv(aimes.WithSeed(42), aimes.WithSites(sites...))
@@ -353,6 +408,9 @@ func NewEnv(opts ...Option) (*Environment, error) {
 			return nil, fmt.Errorf("aimes: WithShards(%d) with WithRealTime: the wall-clock engine advances on its own timers, so a real-time environment runs exactly one shard", o.shards)
 		}
 	}
+	if o.steal && o.realTime {
+		return nil, fmt.Errorf("aimes: WithWorkStealing with WithRealTime: work stealing migrates queued jobs between shard engines pumped in virtual time; the wall-clock engine runs a single self-advancing shard")
+	}
 	n := o.shards
 	if !o.shardsSet {
 		if o.realTime {
@@ -363,9 +421,15 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	}
 	env := &Environment{
 		picker:   shard.NewPicker(n),
+		stealer:  shard.NewStealer(n),
 		eventBuf: o.eventBuf,
 		realTime: o.realTime,
+		steal:    o.steal && n > 1, // a single shard has no peers to steal from
+		window:   1 << 30,          // effectively unbounded: enact at Submit
 		agg:      trace.NewRecorder(),
+	}
+	if env.steal {
+		env.window = admitWindow
 	}
 	for k := 0; k < n; k++ {
 		sh, err := newShardEnv(k, &o)
@@ -431,6 +495,9 @@ func newShardEnv(k int, o *envOptions) (*shardEnv, error) {
 	if bs, ok := eng.(sim.BatchStepper); ok {
 		sh.batch = bs
 	}
+	if q, ok := eng.(sim.Quiescer); ok {
+		sh.quiescer = q
+	}
 	return sh, nil
 }
 
@@ -450,6 +517,64 @@ func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
 
 // Shards reports the number of parallel simulation shards.
 func (e *Environment) Shards() int { return len(e.shards) }
+
+// admitWindow bounds how many jobs a shard keeps enacted at once when work
+// stealing is on; everything beyond it queues un-enacted and stays
+// migratable. Small enough that a skewed burst leaves most of its jobs
+// stealable, large enough that a shard always has concurrent tenants to
+// interleave.
+const admitWindow = 4
+
+// StealStats counts cross-shard work-stealing activity since the
+// environment was created (all zero without WithWorkStealing).
+type StealStats struct {
+	// Migrations counts queued jobs handed off to another shard before
+	// enactment.
+	Migrations int64
+	// ForeignPumps counts bounded event batches waiters fired on a shard
+	// other than their own job's, while their own shard's lock was held by
+	// another waiter.
+	ForeignPumps int64
+}
+
+// StealStats reports the environment's work-stealing activity.
+func (e *Environment) StealStats() StealStats {
+	return StealStats{
+		Migrations:   e.stealer.Migrations(),
+		ForeignPumps: e.stealer.ForeignPumps(),
+	}
+}
+
+// loadFunc snapshots the weighted-load signal placement and migration run
+// on: a shard's pending expected work (milli-core-seconds, reserved at pick
+// time under the submission lock) divided by its observed drain rate, i.e.
+// an estimate of seconds-to-drain. Shards without enough history borrow the
+// mean rate of those with some, so a fresh shard competes fairly.
+func (e *Environment) loadFunc() func(int) float64 {
+	rates := make([]float64, len(e.shards))
+	var sum float64
+	known := 0
+	for k, sh := range e.shards {
+		busy, done := sh.busyNanos.Load(), sh.doneCost.Load()
+		if busy >= int64(time.Millisecond) && done > 0 {
+			rates[k] = float64(done) / (float64(busy) / float64(time.Second))
+			sum += rates[k]
+			known++
+		}
+	}
+	fallback := 1.0
+	if known > 0 {
+		fallback = sum / float64(known)
+	}
+	for k := range rates {
+		if rates[k] == 0 {
+			rates[k] = fallback
+		}
+	}
+	return func(k int) float64 {
+		return float64(e.shards[k].pendingCost.Load()) / rates[k]
+	}
+}
 
 // Bundle exposes shard 0's resource bundle for queries, monitoring and
 // discovery. All shards share the same site configurations; their predictive

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -352,6 +354,34 @@ func benchJobsPath() string {
 	return "BENCH_jobs.json"
 }
 
+// benchHistoryPath resolves the append-only bench trajectory log
+// (BENCH_history.jsonl, one record per run) that cmd/bench-check's -drift
+// mode reads to flag slow regressions no single-run gate would catch.
+// AIMES_BENCH_HISTORY overrides it.
+func benchHistoryPath() string {
+	if p := os.Getenv("AIMES_BENCH_HISTORY"); p != "" {
+		return p
+	}
+	if _, file, _, ok := runtime.Caller(0); ok {
+		return filepath.Join(filepath.Dir(file), "BENCH_history.jsonl")
+	}
+	return "BENCH_history.jsonl"
+}
+
+// benchCommit identifies the commit a history record was measured at, or
+// "unknown" outside a usable git checkout.
+func benchCommit() string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	if _, file, _, ok := runtime.Caller(0); ok {
+		cmd.Dir = filepath.Dir(file)
+	}
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // benchShardCounts is the shard sweep: 1 (the serialized pre-sharding
 // configuration), 2, and the hardware parallelism, deduplicated and sorted.
 func benchShardCounts() []int {
@@ -369,10 +399,14 @@ func benchShardCounts() []int {
 // BenchmarkConcurrentJobs measures multi-tenant job throughput through the
 // async API: 100 concurrent 64-task workloads submitted to one shared
 // environment and waited on from 100 goroutines, swept across shard counts
-// {1, 2, GOMAXPROCS}. Alongside the standard ns/op each sub-benchmark
-// reports jobs/s, and the whole sweep lands in the perf-trajectory record
-// BENCH_jobs.json (repo root; see benchJobsPath) that cmd/bench-check gates
-// CI against.
+// {1, 2, GOMAXPROCS} plus a skewed-load point — every job pinned to shard 0
+// but migratable, work stealing on — that measures how much of the balanced
+// throughput cross-shard stealing recovers from an adversarial tenant mix
+// (the skew_ratio cmd/bench-check gates). Alongside the standard ns/op each
+// sub-benchmark reports jobs/s; the whole sweep lands in the perf-trajectory
+// record BENCH_jobs.json (repo root; see benchJobsPath) that cmd/bench-check
+// gates CI against, and is appended to BENCH_history.jsonl for the -drift
+// slow-regression check.
 func BenchmarkConcurrentJobs(b *testing.B) {
 	const nJobs, nTasks = 100, 64
 	cfg := aimes.StrategyConfig{
@@ -394,53 +428,60 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		ElapsedSeconds float64 `json:"elapsed_seconds"`
 		JobsPerSecond  float64 `json:"jobs_per_second"`
 	}
+	// measure runs the submit-everything-then-wait-everywhere body b.N
+	// times against fresh environments and returns the throughput point.
+	// Environment construction (n full shard stacks) stays outside the
+	// timed region: the metric is job throughput, and the ~n-fold setup
+	// cost would otherwise dilute exactly the speedup the CI gate measures.
+	measure := func(b *testing.B, nShards int, mkEnv func(i int) (*aimes.Environment, error), jcfg aimes.JobConfig) sweepPoint {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			env, err := mkEnv(i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			jobs := make([]*aimes.Job, nJobs)
+			for k, w := range workloads {
+				if jobs[k], err = env.Submit(context.Background(), w, jcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for k, j := range jobs {
+				wg.Add(1)
+				go func(k int, j *aimes.Job) {
+					defer wg.Done()
+					r, err := j.Wait(context.Background())
+					if err != nil {
+						b.Errorf("job %d: %v", k, err)
+					} else if r.UnitsDone != nTasks {
+						b.Errorf("job %d: %d units done", k, r.UnitsDone)
+					}
+				}(k, j)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		jobsPerSec := float64(nJobs*b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(jobsPerSec, "jobs/s")
+		return sweepPoint{
+			Shards:         nShards,
+			Iterations:     b.N,
+			ElapsedSeconds: b.Elapsed().Seconds(),
+			JobsPerSecond:  jobsPerSec,
+		}
+	}
+
 	// The framework may invoke a sub-benchmark several times (probe run,
 	// then the timed run); keep only the final measurement per shard count.
 	byShards := map[int]sweepPoint{}
 	counts := benchShardCounts()
 	for _, nShards := range counts {
 		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				// Environment construction (n full shard stacks) stays
-				// outside the timed region: the metric is job throughput,
-				// and the ~n-fold setup cost would otherwise dilute exactly
-				// the speedup the CI gate measures.
-				b.StopTimer()
-				env, err := aimes.NewEnv(aimes.WithSeed(int64(4242+i)), aimes.WithShards(nShards))
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				jobs := make([]*aimes.Job, nJobs)
-				for k, w := range workloads {
-					if jobs[k], err = env.Submit(context.Background(), w, aimes.JobConfig{StrategyConfig: cfg}); err != nil {
-						b.Fatal(err)
-					}
-				}
-				var wg sync.WaitGroup
-				for k, j := range jobs {
-					wg.Add(1)
-					go func(k int, j *aimes.Job) {
-						defer wg.Done()
-						r, err := j.Wait(context.Background())
-						if err != nil {
-							b.Errorf("job %d: %v", k, err)
-						} else if r.UnitsDone != nTasks {
-							b.Errorf("job %d: %d units done", k, r.UnitsDone)
-						}
-					}(k, j)
-				}
-				wg.Wait()
-			}
-			b.StopTimer()
-			jobsPerSec := float64(nJobs*b.N) / b.Elapsed().Seconds()
-			b.ReportMetric(jobsPerSec, "jobs/s")
-			byShards[nShards] = sweepPoint{
-				Shards:         nShards,
-				Iterations:     b.N,
-				ElapsedSeconds: b.Elapsed().Seconds(),
-				JobsPerSecond:  jobsPerSec,
-			}
+			byShards[nShards] = measure(b, nShards, func(i int) (*aimes.Environment, error) {
+				return aimes.NewEnv(aimes.WithSeed(int64(4242+i)), aimes.WithShards(nShards))
+			}, aimes.JobConfig{StrategyConfig: cfg})
 		})
 	}
 	sweep := make([]sweepPoint, 0, len(byShards))
@@ -453,6 +494,25 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		b.Fatal("shard sweep produced no points")
 	}
 
+	// Skewed-load point: adversarial placement (all jobs pinned to shard 0,
+	// migratable) with work stealing enabled, at the hardware shard count.
+	// Meaningless without at least two shards, so it is skipped there.
+	maxprocs := runtime.GOMAXPROCS(0)
+	var skewed *sweepPoint
+	if maxprocs >= 2 {
+		b.Run(fmt.Sprintf("skewed-steal/shards=%d", maxprocs), func(b *testing.B) {
+			p := measure(b, maxprocs, func(i int) (*aimes.Environment, error) {
+				return aimes.NewEnv(aimes.WithSeed(int64(6262+i)),
+					aimes.WithShards(maxprocs), aimes.WithWorkStealing())
+			}, aimes.JobConfig{
+				StrategyConfig: cfg,
+				Placement:      aimes.PlacePinned, Shard: 0,
+				Migrate: aimes.MigrateAllow,
+			})
+			skewed = &p
+		})
+	}
+
 	// The headline is the best-throughput point, not the widest one: on some
 	// hardware an intermediate shard count wins.
 	base, peak := sweep[0], sweep[0]
@@ -461,21 +521,59 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 			peak = p
 		}
 	}
+	skewRatio, skewedJPS := 0.0, 0.0
+	if skewed != nil {
+		skewedJPS = skewed.JobsPerSecond
+		if balanced, ok := byShards[maxprocs]; ok && balanced.JobsPerSecond > 0 {
+			skewRatio = skewed.JobsPerSecond / balanced.JobsPerSecond
+		}
+	}
 	record := map[string]any{
-		"benchmark":            "BenchmarkConcurrentJobs",
-		"jobs":                 nJobs,
-		"tasks_per_job":        nTasks,
-		"gomaxprocs":           runtime.GOMAXPROCS(0),
-		"sweep":                sweep,
-		"jobs_per_second":      peak.JobsPerSecond,
-		"peak_shards":          peak.Shards,
-		"speedup_vs_one_shard": peak.JobsPerSecond / base.JobsPerSecond,
+		"benchmark":              "BenchmarkConcurrentJobs",
+		"jobs":                   nJobs,
+		"tasks_per_job":          nTasks,
+		"gomaxprocs":             maxprocs,
+		"sweep":                  sweep,
+		"jobs_per_second":        peak.JobsPerSecond,
+		"peak_shards":            peak.Shards,
+		"speedup_vs_one_shard":   peak.JobsPerSecond / base.JobsPerSecond,
+		"skewed_jobs_per_second": skewedJPS,
+		"skew_ratio":             skewRatio,
 	}
 	buf, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile(benchJobsPath(), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	// Append this run to the bench trajectory history: one compact JSONL
+	// record per run, so bench-check -drift can flag slow regressions that
+	// stay under the single-run threshold.
+	hist := map[string]any{
+		"time":            time.Now().UTC().Format(time.RFC3339),
+		"commit":          benchCommit(),
+		"gomaxprocs":      maxprocs,
+		"jobs":            nJobs,
+		"tasks_per_job":   nTasks,
+		"sweep":           sweep,
+		"jobs_per_second": peak.JobsPerSecond,
+		"skew_ratio":      skewRatio,
+	}
+	line, err := json.Marshal(hist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.OpenFile(benchHistoryPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -371,3 +371,98 @@ func TestUnitsByResourceBreakdown(t *testing.T) {
 		t.Fatalf("breakdown sums to %d, want %d", total, report.UnitsDone)
 	}
 }
+
+// TestPrepareEnactBoundary covers the queued-vs-enacted split migration
+// relies on: a prepared execution holds no engine state and draws no
+// randomness, Enact crosses the line exactly once, and Enacted answers
+// which side of it the execution is on.
+func TestPrepareEnactBoundary(t *testing.T) {
+	e := newEnv(t, 5)
+	w := botWorkload(t, 8, 5)
+	s, err := Derive(w, e.bndl, StrategyConfig{
+		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 2,
+	}, e.mgr.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := e.mgr.PrepareWith(w, s, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Enacted() {
+		t.Fatal("prepared execution reports enacted")
+	}
+	if e.eng.Pending() != 0 {
+		t.Fatalf("preparation scheduled %d events", e.eng.Pending())
+	}
+	if got := e.mgr.Recorder().Len(); got != 0 {
+		t.Fatalf("preparation recorded %d trace records", got)
+	}
+	if exec.Pilots() != nil || exec.Units() != nil {
+		t.Fatal("prepared execution exposes pilots or units")
+	}
+	if err := exec.Enact(); err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Enacted() {
+		t.Fatal("enacted execution reports prepared")
+	}
+	if e.eng.Pending() == 0 {
+		t.Fatal("enactment scheduled nothing")
+	}
+	if err := exec.Enact(); err == nil {
+		t.Fatal("double Enact accepted")
+	}
+	r, err := e.mgr.WaitFor(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnitsDone != 8 {
+		t.Fatalf("units done %d, want 8", r.UnitsDone)
+	}
+}
+
+// TestCancelPreparedExecution cancels before Enact: the execution completes
+// immediately with every unit accounted as canceled and no engine activity.
+func TestCancelPreparedExecution(t *testing.T) {
+	e := newEnv(t, 6)
+	w := botWorkload(t, 5, 6)
+	s, err := Derive(w, e.bndl, StrategyConfig{
+		Binding: LateBinding, Scheduler: SchedBackfill, Pilots: 1,
+	}, e.mgr.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := e.mgr.PrepareWith(w, s, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Report
+	exec.OnComplete(func(r *Report) { got = r })
+	exec.Cancel("tenant gave up")
+	if !exec.Done() || !exec.Canceled() {
+		t.Fatal("canceled prepared execution not done")
+	}
+	if got == nil || got.UnitsCanceled != 5 || got.UnitsDone != 0 {
+		t.Fatalf("canceled report = %+v", got)
+	}
+	if got.TTC != 0 {
+		t.Fatalf("canceled-before-enactment TTC = %v, want 0", got.TTC)
+	}
+	if e.eng.Pending() != 0 {
+		t.Fatalf("cancelation scheduled %d events", e.eng.Pending())
+	}
+}
+
+// TestCanceledReportShape checks the standalone helper used for jobs
+// canceled while still queued, before any strategy existed.
+func TestCanceledReportShape(t *testing.T) {
+	w := botWorkload(t, 3, 7)
+	r := CanceledReport(w)
+	if r.UnitsCanceled != 3 || r.UnitsDone != 0 || r.TTC != 0 {
+		t.Fatalf("CanceledReport = %+v", r)
+	}
+	if r.PilotWaits == nil || r.UnitsByResource == nil {
+		t.Fatal("CanceledReport maps not initialized")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"aimes/internal/bundle"
 	"aimes/internal/netsim"
@@ -63,12 +64,19 @@ type ExecOptions struct {
 	Namespace string
 }
 
-// Execution is an in-flight enactment handle.
+// Execution is one workload's enactment handle. It is created in a prepared
+// state (PrepareWith) that holds no engine state at all, and crosses into
+// the enacted state exactly once (Enact) when pilots are submitted and
+// events scheduled; Enacted answers which side of that line it is on — the
+// query cross-shard migration uses to decide whether a job may still be
+// handed to a different shard's manager.
 type Execution struct {
 	m           *Manager
 	rec         *trace.Recorder
+	ns          string
 	workload    *skeleton.Workload
 	strategy    Strategy
+	enacted     bool
 	pm          *pilot.PilotManager
 	um          *pilot.UnitManager
 	started     sim.Time
@@ -110,11 +118,22 @@ func (e *Execution) OnComplete(fn func(*Report)) {
 }
 
 // Pilots returns the execution's pilots (initial and adaptation-added) in
-// submission order.
-func (e *Execution) Pilots() []*pilot.Pilot { return e.pm.Pilots() }
+// submission order; nil before enactment.
+func (e *Execution) Pilots() []*pilot.Pilot {
+	if e.pm == nil {
+		return nil
+	}
+	return e.pm.Pilots()
+}
 
-// Units returns the execution's managed units in submission order.
-func (e *Execution) Units() []*pilot.Unit { return e.um.Units() }
+// Units returns the execution's managed units in submission order; nil
+// before enactment.
+func (e *Execution) Units() []*pilot.Unit {
+	if e.um == nil {
+		return nil
+	}
+	return e.um.Units()
+}
 
 // PreemptPilot preempts one non-final pilot on the named resource, as when
 // the resource manager reclaims the allocation mid-run. Units the pilot held
@@ -122,7 +141,7 @@ func (e *Execution) Units() []*pilot.Unit { return e.um.Units() }
 // replacement, with ReplaceLostPilots). It reports whether a pilot was
 // preempted.
 func (e *Execution) PreemptPilot(resource, reason string) bool {
-	for _, p := range e.pm.Pilots() {
+	for _, p := range e.Pilots() {
 		if p.Resource() == resource && !p.State().Final() {
 			e.pm.Preempt(p, reason)
 			return true
@@ -131,20 +150,50 @@ func (e *Execution) PreemptPilot(resource, reason string) bool {
 	return false
 }
 
+// Enacted reports whether Enact ran: an enacted execution has submitted
+// pilots and scheduled events, so its state is bound to this manager's
+// engine. A prepared, never-enacted execution holds no engine state and can
+// be discarded and re-prepared on another manager — the migration-safe half
+// of the queued-vs-enacted distinction.
+func (e *Execution) Enacted() bool { return e.enacted }
+
 // Cancel aborts the execution: every non-final unit is canceled, all pilots
 // are torn down, and the execution completes immediately with a report that
-// accounts the canceled units. Canceling a finished execution is a no-op.
-// Must run under the engine's callback serialization (sim.Locked) when the
-// engine is concurrent.
+// accounts the canceled units. Canceling a prepared, never-enacted execution
+// completes it directly with every unit accounted as canceled. Canceling a
+// finished execution is a no-op. Must run under the engine's callback
+// serialization (sim.Locked) when the engine is concurrent.
 func (e *Execution) Cancel(reason string) {
 	if e.done {
 		return
 	}
 	e.canceled = true
 	e.rec.Record(e.m.eng.Now(), "em", "CANCELED", reason)
+	if !e.enacted {
+		e.ended = e.m.eng.Now()
+		e.done = true
+		e.rec.Record(e.ended, "em", "DONE", "")
+		e.report = CanceledReport(e.workload)
+		e.report.Strategy = e.strategy
+		for _, fn := range e.onDone {
+			fn(e.report)
+		}
+		e.onDone = nil
+		return
+	}
 	// Canceling the last unit fires the unit manager's completion callback,
 	// which runs finish: pilot teardown and report assembly happen there.
 	e.um.CancelAll()
+}
+
+// CanceledReport builds the report of a workload canceled before enactment:
+// no time passed, nothing activated, and every unit accounts as canceled.
+func CanceledReport(w *skeleton.Workload) *Report {
+	return &Report{
+		UnitsCanceled:   w.TotalTasks(),
+		PilotWaits:      make(map[string]time.Duration),
+		UnitsByResource: make(map[string]int),
+	}
 }
 
 // Execute enacts a strategy for a workload: pilots are described and
@@ -156,8 +205,27 @@ func (m *Manager) Execute(w *skeleton.Workload, s Strategy) (*Execution, error) 
 	return m.ExecuteWith(w, s, ExecOptions{})
 }
 
-// ExecuteWith is Execute with per-execution scoping (recorder, namespace).
+// ExecuteWith is Execute with per-execution scoping (recorder, namespace):
+// the PrepareWith + Enact composition for callers that enact on the spot.
 func (m *Manager) ExecuteWith(w *skeleton.Workload, s Strategy, opts ExecOptions) (*Execution, error) {
+	e, err := m.PrepareWith(w, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Enact(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// PrepareWith validates a workload/strategy pair and returns a prepared
+// Execution without enacting it: no pilots are submitted, nothing is
+// scheduled on the engine, no randomness is drawn and nothing is recorded,
+// so a prepared execution may still be discarded — and the workload
+// re-prepared against a different manager — at zero cost. That queued-vs-
+// enacted boundary (see Enacted) is what makes cross-shard job migration
+// safe: only work that never touched an engine is handed off.
+func (m *Manager) PrepareWith(w *skeleton.Workload, s Strategy, opts ExecOptions) (*Execution, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,12 +236,25 @@ func (m *Manager) ExecuteWith(w *skeleton.Workload, s Strategy, opts ExecOptions
 	if rec == nil {
 		rec = m.rec
 	}
-	e := &Execution{m: m, rec: rec, workload: w, strategy: s, started: m.eng.Now()}
-	rec.Record(m.eng.Now(), "em", "ENACTING", s.String())
+	return &Execution{m: m, rec: rec, ns: opts.Namespace, workload: w, strategy: s}, nil
+}
 
-	sys := pilot.NewSystem(m.eng, m.session, m.links, rec, m.cfg, m.rng)
-	if opts.Namespace != "" {
-		sys.SetNamespace(opts.Namespace)
+// Enact crosses a prepared execution into the enacted state: pilots are
+// described and submitted in randomized order, units are scheduled onto
+// them, and from here on the execution is bound to its manager's engine.
+// Enacting twice is an error.
+func (e *Execution) Enact() error {
+	if e.enacted {
+		return fmt.Errorf("core: execution already enacted")
+	}
+	m, s := e.m, e.strategy
+	e.enacted = true
+	e.started = m.eng.Now()
+	e.rec.Record(m.eng.Now(), "em", "ENACTING", s.String())
+
+	sys := pilot.NewSystem(m.eng, m.session, m.links, e.rec, m.cfg, m.rng)
+	if e.ns != "" {
+		sys.SetNamespace(e.ns)
 	}
 	e.pm = pilot.NewPilotManager(sys)
 	e.um = pilot.NewUnitManager(sys, s.Scheduler.build())
@@ -193,18 +274,18 @@ func (m *Manager) ExecuteWith(w *skeleton.Workload, s Strategy, opts ExecOptions
 		})
 		if err != nil {
 			e.pm.CancelAll()
-			return nil, fmt.Errorf("core: submitting pilot to %s: %w", resource, err)
+			return fmt.Errorf("core: submitting pilot to %s: %w", resource, err)
 		}
 		e.um.AddPilot(p)
 	}
 
-	descs := unitDescriptions(w)
+	descs := unitDescriptions(e.workload)
 	e.um.OnCompletion(func() { e.finish() })
 	if err := e.um.Submit(descs); err != nil {
 		e.pm.CancelAll()
-		return nil, err
+		return err
 	}
-	return e, nil
+	return nil
 }
 
 // finish cancels pilots, assembles the report and fires callbacks.
@@ -248,6 +329,9 @@ func (m *Manager) WaitFor(e *Execution) (*Report, error) {
 // which pilot and unit states it wedged in, the context needed to diagnose
 // a run that can no longer make progress.
 func (e *Execution) IncompleteError() error {
+	if !e.enacted {
+		return fmt.Errorf("core: engine drained with the workload still queued, never enacted")
+	}
 	pilots := make(map[string]int)
 	for _, p := range e.pm.Pilots() {
 		pilots[p.State().String()]++

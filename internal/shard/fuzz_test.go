@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aimes/internal/trace"
+)
+
+// TestSeedDecorrelationWide is the property the fuzzer below explores from
+// arbitrary bases, pinned to the contract's range: for any environment seed,
+// the first 1024 shard seeds are pairwise distinct.
+func TestSeedDecorrelationWide(t *testing.T) {
+	for _, base := range []int64{0, 1, -1, 42, -42, 1 << 62, -(1 << 62), 7777777777} {
+		seen := make(map[int64]int, 1024)
+		for k := 0; k < 1024; k++ {
+			s := Seed(base, k)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("base %d: shards %d and %d share seed %d", base, prev, k, s)
+			}
+			seen[s] = k
+		}
+	}
+}
+
+// FuzzSeed asserts, for arbitrary environment seeds, that shard 0 keeps the
+// base seed (the single-shard-reproduces-history contract) and that no two
+// shards in [0, 1024) collide.
+func FuzzSeed(f *testing.F) {
+	for _, base := range []int64{0, 1, -1, 42, 1 << 40} {
+		f.Add(base)
+	}
+	f.Fuzz(func(t *testing.T, base int64) {
+		if Seed(base, 0) != base {
+			t.Fatalf("Seed(%d, 0) = %d, want the base", base, Seed(base, 0))
+		}
+		seen := make(map[int64]int, 1024)
+		for k := 0; k < 1024; k++ {
+			s := Seed(base, k)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("base %d: shards %d and %d share seed %d", base, prev, k, s)
+			}
+			seen[s] = k
+		}
+	})
+}
+
+// TestNamespaceCollisionFreedom crosses shard and sequence ranges and checks
+// that namespaces — and the trace entities they qualify — never collide,
+// including the adversarial digit boundaries (shard 1/seq 11 vs shard 11/
+// seq 1, and so on).
+func TestNamespaceCollisionFreedom(t *testing.T) {
+	owner := map[string][2]int{}
+	emOwner := map[string][2]int{}
+	unitOwner := map[string][2]int{}
+	for shard := 0; shard < 48; shard++ {
+		for seq := 1; seq <= 48; seq++ {
+			ns := Namespace(shard, seq)
+			key := [2]int{shard, seq}
+			if prev, dup := owner[ns]; dup {
+				t.Fatalf("namespace %q owned by both %v and %v", ns, prev, key)
+			}
+			owner[ns] = key
+			em := trace.QualifyEntity("em", ns)
+			if prev, dup := emOwner[em]; dup {
+				t.Fatalf("qualified em %q owned by both %v and %v", em, prev, key)
+			}
+			emOwner[em] = key
+			unit := trace.QualifyEntity("unit.task-0001", ns)
+			if prev, dup := unitOwner[unit]; dup {
+				t.Fatalf("qualified unit %q owned by both %v and %v", unit, prev, key)
+			}
+			unitOwner[unit] = key
+		}
+	}
+}
+
+// FuzzNamespace asserts injectivity of Namespace and of QualifyEntity under
+// it for arbitrary shard/sequence pairs: distinct pairs must produce
+// distinct namespaces and distinct qualified entities, and the namespace
+// must stay parseable (no '.' — the aggregate-trace separator).
+func FuzzNamespace(f *testing.F) {
+	f.Add(0, 1, 3, 17)
+	f.Add(1, 11, 11, 1)
+	f.Add(2, 2, 2, 2)
+	f.Fuzz(func(t *testing.T, shardA, seqA, shardB, seqB int) {
+		nsA, nsB := Namespace(shardA, seqA), Namespace(shardB, seqB)
+		if strings.ContainsRune(nsA, '.') {
+			t.Fatalf("namespace %q contains the entity separator '.'", nsA)
+		}
+		same := shardA == shardB && seqA == seqB
+		if (nsA == nsB) != same {
+			t.Fatalf("Namespace(%d,%d)=%q vs Namespace(%d,%d)=%q: injectivity violated",
+				shardA, seqA, nsA, shardB, seqB, nsB)
+		}
+		for _, entity := range []string{"em", "unit.t0", "unit.a.b-c"} {
+			qa, qb := trace.QualifyEntity(entity, nsA), trace.QualifyEntity(entity, nsB)
+			if (qa == qb) != same {
+				t.Fatalf("QualifyEntity(%q) collides: %q (s%d-j%d) vs %q (s%d-j%d)",
+					entity, qa, shardA, seqA, qb, shardB, seqB)
+			}
+		}
+		// A namespaced pilot ID embeds the namespace in its final segment;
+		// distinct namespaces must keep pilot IDs distinct for equal
+		// resources and sequence numbers.
+		pa := fmt.Sprintf("pilot.stampede.%s-1", nsA)
+		pb := fmt.Sprintf("pilot.stampede.%s-1", nsB)
+		if (pa == pb) != same {
+			t.Fatalf("pilot IDs collide across namespaces: %q vs %q", pa, pb)
+		}
+	})
+}

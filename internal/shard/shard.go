@@ -18,9 +18,10 @@ const (
 	// RoundRobin cycles submissions across shards in order (the default).
 	// With a fixed submission sequence it is deterministic.
 	RoundRobin Policy = iota
-	// LeastLoaded places each job on the shard with the fewest in-flight
-	// tasks, balancing heterogeneous tenants at the cost of placement
-	// depending on completion timing.
+	// LeastLoaded places each job on the shard with the smallest effective
+	// load — pending expected core-seconds weighted by the shard's observed
+	// drain rate, not a raw in-flight task count — balancing heterogeneous
+	// tenants at the cost of placement depending on completion timing.
 	LeastLoaded
 	// Pinned places the job on an explicitly chosen shard. Tenants that need
 	// cross-job determinism pin: same seed + same per-shard submission order
@@ -60,9 +61,14 @@ func NewPicker(n int) *Picker {
 func (p *Picker) Shards() int { return p.n }
 
 // Pick returns the shard index for one submission. pinned is the requested
-// shard for Pinned; load reports the in-flight task count of a shard for
-// LeastLoaded (ties resolve to the lowest index).
-func (p *Picker) Pick(policy Policy, pinned int, load func(int) int) (int, error) {
+// shard for Pinned; load reports the effective load of a shard for
+// LeastLoaded (ties resolve to the lowest index). The caller fixes the load
+// unit — the environment reports pending expected core-seconds divided by
+// the shard's observed drain rate — and must make the pick-plus-reservation
+// atomic under its submission lock: a picker that reads loads which only
+// grow after the lock is released lets two concurrent submissions both land
+// on the same "least loaded" shard.
+func (p *Picker) Pick(policy Policy, pinned int, load func(int) float64) (int, error) {
 	switch policy {
 	case RoundRobin:
 		k := p.next

@@ -21,8 +21,8 @@ func TestRoundRobinCycles(t *testing.T) {
 
 func TestLeastLoadedPicksMinimumWithLowIndexTies(t *testing.T) {
 	p := NewPicker(4)
-	loads := []int{5, 2, 2, 7}
-	k, err := p.Pick(LeastLoaded, 0, func(i int) int { return loads[i] })
+	loads := []float64{5, 2, 2, 7}
+	k, err := p.Pick(LeastLoaded, 0, func(i int) float64 { return loads[i] })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,14 +30,14 @@ func TestLeastLoadedPicksMinimumWithLowIndexTies(t *testing.T) {
 		t.Fatalf("least-loaded picked %d, want 1 (lowest-index tie)", k)
 	}
 	loads[1] = 9
-	if k, _ = p.Pick(LeastLoaded, 0, func(i int) int { return loads[i] }); k != 2 {
+	if k, _ = p.Pick(LeastLoaded, 0, func(i int) float64 { return loads[i] }); k != 2 {
 		t.Fatalf("least-loaded picked %d, want 2", k)
 	}
 }
 
 func TestLeastLoadedDoesNotAdvanceRoundRobin(t *testing.T) {
 	p := NewPicker(2)
-	if _, err := p.Pick(LeastLoaded, 0, func(int) int { return 0 }); err != nil {
+	if _, err := p.Pick(LeastLoaded, 0, func(int) float64 { return 0 }); err != nil {
 		t.Fatal(err)
 	}
 	if k, _ := p.Pick(RoundRobin, 0, nil); k != 0 {

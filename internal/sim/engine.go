@@ -103,6 +103,18 @@ type BatchStepper interface {
 	StepN(n int) int
 }
 
+// Quiescer is implemented by steppable engines that can report, without
+// firing anything, whether a Step would fire an event. It is the
+// non-blocking query half of the StepN pump seam that cross-shard work
+// stealing builds on: a waiter distinguishes a drained-but-blocked engine
+// (nothing runnable although the workload is incomplete) from a merely busy
+// one before deciding to migrate work or pump another shard, without
+// perturbing the event queue it inspects.
+type Quiescer interface {
+	// Runnable reports whether at least one non-canceled event is pending.
+	Runnable() bool
+}
+
 // eventQueue is a min-heap ordered by (when, seq).
 type eventQueue []*Event
 
@@ -151,6 +163,7 @@ var (
 	_ Engine       = (*Sim)(nil)
 	_ Stepper      = (*Sim)(nil)
 	_ BatchStepper = (*Sim)(nil)
+	_ Quiescer     = (*Sim)(nil)
 )
 
 // Now returns the current virtual time.
@@ -223,6 +236,10 @@ func (s *Sim) Step() bool {
 	}
 	return false
 }
+
+// Runnable implements Quiescer: it reports whether a Step would fire an
+// event, discarding canceled queue heads but firing nothing.
+func (s *Sim) Runnable() bool { return s.peek() != nil }
 
 // StepN implements BatchStepper: it fires up to n pending events and reports
 // how many fired. A return below n means the queue drained.

@@ -376,3 +376,27 @@ func TestStepNSkipsCanceledEvents(t *testing.T) {
 		t.Fatalf("StepN over canceled events = %d with %d fired", n, fired)
 	}
 }
+
+func TestSimRunnable(t *testing.T) {
+	s := NewSim()
+	if s.Runnable() {
+		t.Fatal("empty engine reports runnable")
+	}
+	ev := s.Schedule(time.Second, func() {})
+	if !s.Runnable() {
+		t.Fatal("engine with a pending event reports quiescent")
+	}
+	s.Cancel(ev)
+	if s.Runnable() {
+		t.Fatal("engine with only a canceled event reports runnable")
+	}
+	// Runnable is a pure query: it fires nothing and keeps the clock still.
+	s.Schedule(time.Second, func() {})
+	now, fired := s.Now(), s.Fired()
+	if !s.Runnable() || s.Now() != now || s.Fired() != fired {
+		t.Fatal("Runnable perturbed the engine")
+	}
+	if !s.Step() || s.Runnable() {
+		t.Fatal("drained engine still runnable after firing the last event")
+	}
+}

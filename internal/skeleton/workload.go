@@ -91,6 +91,18 @@ func (w *Workload) TotalDuration() time.Duration {
 	return d
 }
 
+// CoreSeconds returns the expected compute demand Σ duration × cores, in
+// core-seconds — the load unit the sharded environment's weighted placement
+// and work stealing reason in, since a few wide long tasks load a shard far
+// more than many small ones with the same task count.
+func (w *Workload) CoreSeconds() float64 {
+	var s float64
+	for _, t := range w.Tasks {
+		s += t.Duration.Seconds() * float64(t.Cores)
+	}
+	return s
+}
+
 // MaxDuration returns the longest task duration.
 func (w *Workload) MaxDuration() time.Duration {
 	var d time.Duration

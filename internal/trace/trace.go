@@ -118,6 +118,12 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// StateMigrated is the execution-manager ("em") trace state recorded when a
+// still-queued job is handed off to another simulation shard before
+// enactment; the detail names the origin shard ("from s<k>"). It is the only
+// record a job carries from before its enacting shard was decided.
+const StateMigrated = "MIGRATED"
+
 // QualifyEntity scopes a job's non-namespaced trace entities for an
 // aggregate (multi-tenant) trace: with namespace "s0-j3", "em" becomes
 // "em.s0-j3" and "unit.x" becomes "unit.s0-j3.x", so same-named units of

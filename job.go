@@ -3,6 +3,7 @@ package aimes
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,10 +18,17 @@ type JobState int32
 
 // Job lifecycle states.
 const (
-	// JobPending is the zero state of a handle before enactment. Submit
-	// enacts synchronously, so jobs it returns are already JobRunning (or
-	// were rejected); JobPending is never observed on a submitted job.
+	// JobPending is the zero state of a handle before admission; it is never
+	// observed on a job returned by Submit (which either enacts the job,
+	// queues it, or rejects the submission).
 	JobPending JobState = iota
+	// JobQueued is a submitted job awaiting enactment behind its shard's
+	// admission window. It only occurs on work-stealing environments
+	// (WithWorkStealing): without stealing Submit enacts synchronously. A
+	// queued job holds no engine state — no pilots, no events, no randomness
+	// drawn — which is exactly what makes it safe to migrate to another
+	// shard.
+	JobQueued
 	// JobRunning is an enacted job whose units are in flight.
 	JobRunning
 	// JobDone is a completed job with a report (individual units may still
@@ -38,6 +46,8 @@ func (s JobState) String() string {
 	switch s {
 	case JobPending:
 		return "pending"
+	case JobQueued:
+		return "queued"
 	case JobRunning:
 		return "running"
 	case JobDone:
@@ -56,7 +66,7 @@ func (s JobState) Final() bool { return s >= JobDone }
 // Event is one state transition streamed live from a job's trace: pilot
 // transitions ("pilot.stampede.s0-j3-1" → ACTIVE), unit transitions
 // ("unit.task-0007" → EXECUTING) and execution-manager strategy transitions
-// ("em" → ENACTING/ADAPTED/CANCELED/DONE).
+// ("em" → ENACTING/MIGRATED/ADAPTED/CANCELED/DONE).
 type Event struct {
 	// Job is the originating job's sequence number (Job.ID).
 	Job int
@@ -81,15 +91,39 @@ const (
 	// PlaceRoundRobin cycles submissions across shards in order (the
 	// default). With a fixed submission sequence it is deterministic.
 	PlaceRoundRobin = shard.RoundRobin
-	// PlaceLeastLoaded places the job on the shard with the fewest
-	// in-flight tasks, balancing heterogeneous tenants at the cost of
-	// placement depending on completion timing.
+	// PlaceLeastLoaded places the job on the shard with the smallest
+	// effective load — pending expected core-seconds (Σ duration × cores
+	// over the workload) weighted by the shard's observed drain rate — at
+	// the cost of placement depending on completion timing.
 	PlaceLeastLoaded = shard.LeastLoaded
 	// PlacePinned places the job on JobConfig.Shard. Pin jobs that need
 	// cross-run determinism: the same environment seed and the same
 	// per-shard submission order reproduce identical reports, regardless of
-	// traffic on other shards.
+	// traffic on other shards. On work-stealing environments a pinned,
+	// non-migratable submission also seals its shard against incoming
+	// migrants, so the contract survives other shards' jobs migrating.
 	PlacePinned = shard.Pinned
+)
+
+// MigratePolicy controls whether cross-shard work stealing may hand a
+// still-queued job to another shard before enactment (see WithWorkStealing).
+// Only queued jobs ever migrate: once enacted, a job's pilots and events are
+// bound to its shard and other waiters can at most help pump that shard.
+type MigratePolicy int
+
+// Migrate policies.
+const (
+	// MigrateAuto (the zero value) lets round-robin and least-loaded jobs
+	// migrate and keeps pinned jobs where they were pinned.
+	MigrateAuto MigratePolicy = iota
+	// MigrateAllow opts in explicitly — including pinned jobs, whose pin
+	// then only seeds the initial placement. A migratable pinned job does
+	// not seal its shard.
+	MigrateAllow
+	// MigrateNever opts out: the job runs on the shard it was placed on no
+	// matter how skewed the load gets. Unlike a pinned submission it does
+	// not seal the shard against migrants; determinism-critical tenants pin.
+	MigrateNever
 )
 
 // JobConfig configures one Submit call.
@@ -112,25 +146,43 @@ type JobConfig struct {
 	// Shard is the target shard index when Placement is PlacePinned
 	// (0 <= Shard < Environment.Shards()); ignored otherwise.
 	Shard int
+	// Migrate controls whether work stealing may move the job to another
+	// shard while it is still queued: MigrateAuto (the zero value),
+	// MigrateAllow, or MigrateNever. Ignored without WithWorkStealing.
+	Migrate MigratePolicy
 }
 
 // Job is an asynchronous handle on one submitted workload. All methods are
 // safe for concurrent use.
 type Job struct {
-	id    int
-	env   *Environment
-	shard *shardEnv
-	ns    string
-	tasks int
-	exec  *core.Execution
-	rec   *trace.Recorder
+	id         int
+	env        *Environment
+	w          *Workload
+	cfg        JobConfig
+	cost       int64 // expected work, milli-core-seconds
+	migratable bool
+	rec        *trace.Recorder
+
+	// sh is the shard currently responsible for the job. It changes at most
+	// once, during a queued job's migration handoff; after enactment it is
+	// stable.
+	sh atomic.Pointer[shardEnv]
 
 	state        atomic.Int32
 	events       chan Event
 	eventsClosed atomic.Bool
 	dropped      atomic.Int64
 
-	mu           sync.Mutex // guards report, err, cancelReason, completed
+	// mu guards the admission/handoff fields and the terminal outcome.
+	// Lock order: a shard's engine lock is always taken before a job's mu,
+	// never the other way around.
+	mu           sync.Mutex
+	ns           string
+	exec         *core.Execution
+	enacted      bool
+	handoff      bool // popped from its origin's queue, not yet landed
+	hopped       bool // migrated once already; jobs move at most one hop
+	migratedFrom int  // origin shard of the hop, -1 when never migrated
 	completed    bool
 	report       *Report
 	err          error
@@ -138,15 +190,18 @@ type Job struct {
 	done         chan struct{}
 }
 
-// Submit validates, derives (unless cfg.Strategy is set) and enacts a
-// workload on the shared environment, returning an asynchronous Job handle
-// immediately. The job is placed on one of the environment's simulation
-// shards (cfg.Placement: round-robin by default, least-loaded, or pinned);
-// any number of jobs run concurrently, and jobs on different shards execute
-// truly in parallel. Each job gets its own trace recorder, a shard-qualified
-// pilot-ID namespace ("s<shard>-j<seq>", shard-local sequence), and an event
-// stream; within a shard the engine interleaves tenants fairly in submission
-// order at each timestep.
+// Submit validates, places and admits a workload on the shared environment,
+// returning an asynchronous Job handle immediately. The job is placed on one
+// of the environment's simulation shards (cfg.Placement: round-robin by
+// default, least-loaded by weighted expected work, or pinned); any number of
+// jobs run concurrently, and jobs on different shards execute truly in
+// parallel. Without WithWorkStealing the job is enacted synchronously
+// (JobRunning on return); with it, a shard whose admission window is full
+// queues the job un-enacted (JobQueued) where work stealing may migrate it.
+// Each enacted job gets its own trace recorder, a shard-qualified pilot-ID
+// namespace ("s<shard>-j<seq>", shard-local sequence), and an event stream;
+// within a shard the engine interleaves tenants fairly in submission order
+// at each timestep.
 //
 // ctx gates admission (a canceled context rejects the submission) and bounds
 // the job's lifetime: if ctx is canceled while the job runs, the job is
@@ -166,6 +221,9 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	// Validate before placement, so rejected submissions perturb neither the
 	// round-robin cursor nor any ID sequence. (Derivation itself can still
 	// fail on the shard; see the ID rollback below.)
+	if cfg.Migrate < MigrateAuto || cfg.Migrate > MigrateNever {
+		return nil, fmt.Errorf("aimes: unknown migrate policy %d (want MigrateAuto, MigrateAllow or MigrateNever)", int(cfg.Migrate))
+	}
 	if cfg.Strategy != nil {
 		if w == nil || w.TotalTasks() == 0 {
 			return nil, fmt.Errorf("aimes: zero-task workload (generate tasks before submitting)")
@@ -174,11 +232,31 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 		return nil, err
 	}
 
-	// Placement and global-ID allocation hold the submission lock only
-	// briefly — never across the shard's derive/enact critical section — so
-	// a busy shard cannot stall submissions to the others.
+	cost := int64(w.CoreSeconds() * 1000)
+	if cost < 1 {
+		cost = 1
+	}
+	migratable := e.steal && cfg.Migrate != MigrateNever &&
+		(cfg.Migrate == MigrateAllow || cfg.Placement != PlacePinned)
+
+	// Placement, global-ID allocation and the load reservation form one
+	// critical section under the submission lock: reserving the job's
+	// expected cost on the picked shard before the lock is released is what
+	// keeps pick-plus-increment atomic — two concurrent least-loaded
+	// Submits can no longer both observe the same "least loaded" shard. The
+	// lock is never held across the shard's derive/enact critical section,
+	// so a busy shard cannot stall submissions to the others.
 	e.jobMu.Lock()
-	k, err := e.picker.Pick(cfg.Placement, cfg.Shard, e.shardLoad)
+	// The weighted-load snapshot is built lazily: the picker only consults
+	// it for least-loaded placement, and round-robin/pinned submissions
+	// should not pay the O(shards) scan under the hottest lock.
+	var load func(int) float64
+	k, err := e.picker.Pick(cfg.Placement, cfg.Shard, func(k int) float64 {
+		if load == nil {
+			load = e.loadFunc()
+		}
+		return load(k)
+	})
 	if err != nil {
 		e.jobMu.Unlock()
 		return nil, err
@@ -186,70 +264,49 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	sh := e.shards[k]
 	id := e.jobSeq + 1
 	e.jobSeq = id
+	sh.pendingCost.Add(cost)
 	e.jobMu.Unlock()
 
-	var (
-		job    *Job
-		reterr error
-	)
+	j := &Job{
+		id:           id,
+		env:          e,
+		w:            w,
+		cfg:          cfg,
+		cost:         cost,
+		migratable:   migratable,
+		rec:          trace.NewRecorder(),
+		events:       make(chan Event, buf),
+		done:         make(chan struct{}),
+		migratedFrom: -1,
+	}
+	j.sh.Store(sh)
+	j.rec.Observe(j.publish)
+
+	var reterr error
 	sh.sync(func() {
-		var s Strategy
-		if cfg.Strategy != nil {
-			s = *cfg.Strategy
-		} else {
-			var err error
-			s, err = core.Derive(w, sh.bndl, cfg.StrategyConfig, sh.rng)
-			if err != nil {
-				reterr = err
-				return
+		if e.steal && cfg.Placement == PlacePinned && cfg.Migrate != MigrateAllow {
+			// A pinned, non-migratable tenant claims determinism on this
+			// shard: seal it so no migrant ever lands here and perturbs its
+			// trajectory. Sealing here — under the shard's serialization,
+			// with admission certain except for derivation errors — rather
+			// than at pick time keeps a rejected submission from closing a
+			// shard no pinned tenant actually runs on. (A derivation failure
+			// below still seals; the tenant demonstrably intends to pin here,
+			// and will normally retry.)
+			e.stealer.Seal(sh.id)
+		}
+		if e.steal && (sh.running >= e.window || len(sh.queue) > 0) {
+			sh.queue = append(sh.queue, j)
+			j.state.Store(int32(JobQueued))
+			if j.migratable {
+				e.stealer.NoteQueued(sh.id, 1)
 			}
-		}
-
-		ns := shard.Namespace(sh.id, sh.jobSeq+1)
-		rec := trace.NewRecorder()
-		j := &Job{
-			id:     id,
-			env:    e,
-			shard:  sh,
-			ns:     ns,
-			tasks:  w.TotalTasks(),
-			rec:    rec,
-			events: make(chan Event, buf),
-			done:   make(chan struct{}),
-		}
-		rec.Observe(j.publish)
-		// Tee every record into the shard's trace (which in turn tees into
-		// the environment aggregate, see NewEnv). Entities whose IDs carry
-		// no namespace of their own ("em", "unit.<name>") are scoped to the
-		// job, so same-named units of different tenants stay
-		// distinguishable; pilot IDs are namespaced at the source.
-		shardRec := sh.mgr.Recorder()
-		rec.Observe(func(r trace.Record) {
-			shardRec.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
-		})
-
-		opts := core.ExecOptions{Recorder: rec, Namespace: ns}
-		var (
-			exec *core.Execution
-			err  error
-		)
-		if cfg.Adaptive != nil {
-			exec, err = sh.mgr.ExecuteAdaptiveWith(w, s, *cfg.Adaptive, opts)
-		} else {
-			exec, err = sh.mgr.ExecuteWith(w, s, opts)
-		}
-		if err != nil {
-			reterr = err
 			return
 		}
-		sh.jobSeq++
-		sh.inflight.Add(int64(j.tasks))
-		j.exec = exec
-		j.state.Store(int32(JobRunning))
-		exec.OnComplete(func(r *Report) { j.complete(r, nil) })
-		job = j
+		reterr = e.enactLocked(sh, j)
 	})
 	if reterr != nil {
+		sh.pendingCost.Add(-cost)
 		// Return the global ID unless a later submission already claimed the
 		// next one (then the gap is unavoidable and harmless).
 		e.jobMu.Lock()
@@ -263,36 +320,343 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 		go func() {
 			select {
 			case <-ctx.Done():
-				job.Cancel("context: " + ctx.Err().Error())
-			case <-job.done:
+				j.Cancel("context: " + ctx.Err().Error())
+			case <-j.done:
 			}
 		}()
 	}
-	return job, nil
+	return j, nil
 }
 
-// shardLoad reports shard k's in-flight task count, the least-loaded
-// placement signal.
-func (e *Environment) shardLoad(k int) int { return int(e.shards[k].inflight.Load()) }
+// enactLocked derives (unless pre-derived) and enacts a job on sh, assigning
+// its shard-local namespace from sh's sequence and its randomness from sh's
+// streams — for a migrated job this is the re-derivation half of the
+// migration-safe handoff, recorded as an "em" MIGRATED trace event. It runs
+// under sh's engine serialization with sh current for j.
+func (e *Environment) enactLocked(sh *shardEnv, j *Job) error {
+	var s Strategy
+	if j.cfg.Strategy != nil {
+		s = *j.cfg.Strategy
+	} else {
+		var err error
+		s, err = core.Derive(j.w, sh.bndl, j.cfg.StrategyConfig, sh.rng)
+		if err != nil {
+			return err
+		}
+	}
+
+	ns := shard.Namespace(sh.id, sh.jobSeq+1)
+	// Tee every record into the shard's trace (which in turn tees into the
+	// environment aggregate, see NewEnv). Entities whose IDs carry no
+	// namespace of their own ("em", "unit.<name>") are scoped to the job, so
+	// same-named units of different tenants stay distinguishable; pilot IDs
+	// are namespaced at the source.
+	shardRec := sh.mgr.Recorder()
+	j.rec.Observe(func(r trace.Record) {
+		shardRec.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
+	})
+	j.mu.Lock()
+	j.ns = ns
+	from := j.migratedFrom
+	j.mu.Unlock()
+	if from >= 0 {
+		j.rec.Record(sh.eng.Now(), "em", trace.StateMigrated, fmt.Sprintf("from s%d", from))
+	}
+
+	opts := core.ExecOptions{Recorder: j.rec, Namespace: ns}
+	var (
+		exec *core.Execution
+		err  error
+	)
+	if j.cfg.Adaptive != nil {
+		exec, err = sh.mgr.ExecuteAdaptiveWith(j.w, s, *j.cfg.Adaptive, opts)
+	} else {
+		// The prepared→enacted crossing is explicit here: right up to Enact
+		// the job held no engine state, which is why queued jobs can migrate.
+		exec, err = sh.mgr.PrepareWith(j.w, s, opts)
+		if err == nil {
+			err = exec.Enact()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	sh.jobSeq++
+	sh.running++
+	j.mu.Lock()
+	j.exec = exec
+	j.enacted = true
+	j.handoff = false
+	reason := j.cancelReason
+	j.mu.Unlock()
+	j.state.Store(int32(JobRunning))
+	exec.OnComplete(func(r *Report) { j.complete(r, nil) })
+	if reason != "" {
+		// A cancel raced the admission (requested while the job was queued
+		// or mid-handoff): honor it now that there is engine state to tear
+		// down. We already hold the engine serialization.
+		exec.Cancel(reason)
+	}
+	return nil
+}
+
+// admitNextLocked enacts queued jobs while the admission window has room. It
+// runs under sh's engine serialization; the admitting flag makes it
+// reentrancy-safe, because enacting or failing a job can complete other
+// jobs, and completions re-enter here.
+func (e *Environment) admitNextLocked(sh *shardEnv) {
+	if !e.steal || sh.admitting {
+		return
+	}
+	sh.admitting = true
+	for sh.running < e.window && len(sh.queue) > 0 {
+		j := sh.queue[0]
+		sh.queue[0] = nil
+		sh.queue = sh.queue[1:]
+		if j.migratable {
+			e.stealer.NoteQueued(sh.id, -1)
+		}
+		if err := e.enactLocked(sh, j); err != nil {
+			j.complete(nil, err)
+		}
+	}
+	sh.admitting = false
+}
+
+// removeQueued unlinks j from sh's admission queue, reporting whether it was
+// there. Runs under sh's engine serialization.
+func (sh *shardEnv) removeQueued(j *Job) bool {
+	for i, q := range sh.queue {
+		if q == j {
+			sh.queue = append(sh.queue[:i], sh.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// migrationCandidate is the lock-free pre-check for self-migration: is
+// there any open shard that would be strictly better off running this job?
+// Waiters of queued jobs poll it every pump iteration, so it must not take
+// the submission lock on a balanced system.
+func (e *Environment) migrationCandidate(origin *shardEnv, cost int64) bool {
+	o := float64(origin.pendingCost.Load())
+	for k, sh := range e.shards {
+		if sh == origin || e.stealer.Sealed(k) {
+			continue
+		}
+		if shard.ShouldMigrate(o, float64(sh.pendingCost.Load()), float64(cost)) {
+			return true
+		}
+	}
+	return false
+}
+
+// migrateJob attempts the migration-safe handoff of a still-queued job to a
+// less loaded shard. The handoff is lock-ordered and two-phase: the job is
+// popped from its origin's queue under the origin's engine lock, then landed
+// on the destination under the destination's — no two shard locks are ever
+// held together, and the destination's load is reserved under the submission
+// lock so concurrent decisions see each other. The destination re-derives
+// namespace and randomness when it enacts (see enactLocked); sealed shards
+// are never chosen. forced relaxes the load-balance margin for liveness
+// (a job queued behind a wedged admission window must move or fail).
+func (e *Environment) migrateJob(j *Job, forced bool) bool {
+	if !e.steal || !j.migratable {
+		return false
+	}
+	j.mu.Lock()
+	hopped := j.hopped
+	j.mu.Unlock()
+	if hopped {
+		return false // one hop per job: stolen work is not re-stolen
+	}
+	origin := j.sh.Load()
+	if !forced && !e.migrationCandidate(origin, j.cost) {
+		return false
+	}
+
+	// Decide and reserve under the submission lock.
+	e.jobMu.Lock()
+	load := e.loadFunc()
+	best, bestLoad := -1, 0.0
+	for k := range e.shards {
+		if k == origin.id || e.stealer.Sealed(k) {
+			continue
+		}
+		if l := load(k); best < 0 || l < bestLoad {
+			best, bestLoad = k, l
+		}
+	}
+	if best < 0 {
+		e.jobMu.Unlock()
+		return false
+	}
+	dest := e.shards[best]
+	if !forced && !shard.ShouldMigrate(
+		float64(origin.pendingCost.Load()), float64(dest.pendingCost.Load()), float64(j.cost)) {
+		e.jobMu.Unlock()
+		return false
+	}
+	dest.pendingCost.Add(j.cost) // reserve before releasing the lock
+	e.jobMu.Unlock()
+
+	// Phase 1: pop from the origin.
+	popped := false
+	origin.sync(func() {
+		if j.sh.Load() != origin || JobState(j.state.Load()) != JobQueued {
+			return
+		}
+		if !origin.removeQueued(j) {
+			return // another stealer or a cancel got here first
+		}
+		e.stealer.NoteQueued(origin.id, -1)
+		origin.pendingCost.Add(-j.cost)
+		j.mu.Lock()
+		j.handoff = true
+		j.hopped = true
+		j.migratedFrom = origin.id
+		j.mu.Unlock()
+		popped = true
+	})
+	if !popped {
+		dest.pendingCost.Add(-j.cost)
+		return false
+	}
+
+	// Phase 2: land on the destination.
+	dest.sync(func() {
+		j.sh.Store(dest)
+		j.mu.Lock()
+		reason := j.cancelReason
+		j.mu.Unlock()
+		if reason != "" {
+			// Canceled mid-handoff: finish here, on the shard that now
+			// accounts the job's cost.
+			j.complete(core.CanceledReport(j.w), nil)
+			return
+		}
+		if dest.running < e.window && len(dest.queue) == 0 {
+			if err := e.enactLocked(dest, j); err != nil {
+				j.complete(nil, err)
+			}
+			return
+		}
+		j.mu.Lock()
+		j.handoff = false
+		j.mu.Unlock()
+		dest.queue = append(dest.queue, j)
+		e.stealer.NoteQueued(dest.id, 1)
+	})
+	e.stealer.CountMigration()
+	return true
+}
+
+// peekMigratable returns a queued migratable job of sh without popping it,
+// or nil. Bounded: it gives up rather than blocking when the shard's lock is
+// busy.
+func (e *Environment) peekMigratable(sh *shardEnv) *Job {
+	if !sh.mu.TryLock() {
+		return nil
+	}
+	defer sh.mu.Unlock()
+	for _, q := range sh.queue {
+		if !q.migratable {
+			continue
+		}
+		q.mu.Lock()
+		ok := !q.hopped && q.cancelReason == ""
+		q.mu.Unlock()
+		if ok {
+			return q
+		}
+	}
+	return nil
+}
+
+// stealForward is a departing waiter's parting contribution: one bounded
+// attempt to hand the busiest queue's oldest migratable job to a less loaded
+// shard (often the waiter's own, freshly idle one). It keeps queues moving
+// for jobs whose own waiters have not arrived yet.
+func (e *Environment) stealForward() {
+	if !e.steal {
+		return
+	}
+	v := e.stealer.Victim(-1)
+	if v < 0 {
+		return
+	}
+	if j := e.peekMigratable(e.shards[v]); j != nil {
+		e.migrateJob(j, false)
+	}
+}
+
+// helpPump fires one bounded event batch on the most loaded other shard
+// whose lock is free — called by a waiter that found its own shard already
+// being pumped. Lock-ordered: the caller holds no shard lock, and helpPump
+// only ever TryLocks one. The batch may complete that shard's jobs and admit
+// from its queue, exactly as its own waiters would.
+func (e *Environment) helpPump(own *shardEnv) {
+	best, bestCost := -1, int64(0)
+	for k, sh := range e.shards {
+		if sh == own {
+			continue
+		}
+		if c := sh.pendingCost.Load(); c > bestCost {
+			best, bestCost = k, c
+		}
+	}
+	if best < 0 {
+		return
+	}
+	sh := e.shards[best]
+	if !sh.mu.TryLock() {
+		return
+	}
+	fired, drained := sh.stepBatch(nil)
+	if drained && sh.running == 0 && len(sh.queue) > 0 {
+		e.admitNextLocked(sh)
+	}
+	sh.mu.Unlock()
+	if fired > 0 {
+		e.stealer.CountForeignPump()
+	}
+}
 
 // ID returns the job's sequence number within its environment (1-based,
 // across all shards).
 func (j *Job) ID() int { return j.id }
 
-// Shard returns the index of the simulation shard the job was placed on.
-func (j *Job) Shard() int { return j.shard.id }
+// Shard returns the index of the simulation shard currently responsible for
+// the job. It is stable once the job is enacted; a queued job on a
+// work-stealing environment may migrate once.
+func (j *Job) Shard() int { return j.sh.Load().id }
 
 // Namespace returns the job's shard-qualified namespace, "s<shard>-j<seq>"
-// with a shard-local sequence number. It scopes the job's pilot IDs
+// with a shard-local sequence number, assigned at enactment ("" while the
+// job is still queued). It scopes the job's pilot IDs
 // ("pilot.<resource>.s0-j3-1") and its "em"/"unit" entities in the aggregate
-// trace ("em.s0-j3", "unit.s0-j3.<name>").
-func (j *Job) Namespace() string { return j.ns }
+// trace ("em.s0-j3", "unit.s0-j3.<name>"). A migrated job's namespace names
+// the destination shard.
+func (j *Job) Namespace() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ns
+}
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState { return JobState(j.state.Load()) }
 
-// Strategy returns the enacted execution strategy.
-func (j *Job) Strategy() Strategy { return j.exec.Strategy() }
+// Strategy returns the enacted execution strategy (the zero Strategy while
+// the job is still queued — a queued job has not derived one yet).
+func (j *Job) Strategy() Strategy {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.exec == nil {
+		return Strategy{}
+	}
+	return j.exec.Strategy()
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -335,7 +699,10 @@ func (j *Job) EventsDropped() int64 { return j.dropped.Load() }
 // virtual-time environment the waiting goroutine pumps the job's shard
 // (whoever waits, advances that shard's time — concurrent waiters interleave
 // on the same shard and run in parallel across shards); on a wall-clock
-// environment it blocks while timers fire.
+// environment it blocks while timers fire. On a work-stealing environment
+// the waiter additionally migrates its own still-queued job to a less loaded
+// shard, helps pump the busiest shard while its own is locked, and on its
+// way out hands one queued job from the busiest queue to an idle shard.
 //
 // ctx bounds the wait only: when it expires, Wait returns ctx.Err() and the
 // job keeps running (use Cancel, or a Submit ctx, to stop the job itself).
@@ -345,9 +712,11 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e := j.env
 	for {
 		select {
 		case <-j.done:
+			e.stealForward()
 			j.mu.Lock()
 			defer j.mu.Unlock()
 			return j.report, j.err
@@ -355,7 +724,8 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 			return nil, ctx.Err()
 		default:
 		}
-		if j.shard.stepper == nil {
+		sh := j.sh.Load()
+		if sh.stepper == nil {
 			select {
 			case <-j.done:
 				j.mu.Lock()
@@ -365,29 +735,122 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 				return nil, ctx.Err()
 			}
 		}
-		j.shard.pump(j)
+		if e.steal && JobState(j.state.Load()) == JobQueued {
+			if e.migrateJob(j, false) {
+				continue // pump the new shard next iteration
+			}
+		}
+		if sh.pump(j) {
+			// Stalled: the shard drained with our migratable job still
+			// queued behind a wedged admission window. Force it onto any
+			// open shard; if every other shard is sealed, it can never start.
+			if !e.migrateJob(j, true) {
+				j.failStalled(sh)
+			}
+		}
 	}
 }
 
-// Cancel aborts a running job: every non-final unit is canceled, its pilots
-// are torn down, and the job completes immediately in state JobCanceled with
-// a report accounting the canceled units. Canceling a finished job is a
-// no-op.
+// failStalled ends a queued job that can never start: its shard's engine
+// drained with the admission window wedged, and no open shard can take it.
+// The no-op guards make it safe against racing migrations and cancels.
+func (j *Job) failStalled(sh *shardEnv) {
+	e := j.env
+	sh.sync(func() {
+		if j.sh.Load() != sh || JobState(j.state.Load()) != JobQueued {
+			return
+		}
+		if !sh.removeQueued(j) {
+			return // an in-flight handoff or cancel owns the job now
+		}
+		if j.migratable {
+			e.stealer.NoteQueued(sh.id, -1)
+		}
+		j.complete(nil, fmt.Errorf("aimes: shard s%d drained with the job still queued behind %d wedged jobs and no open shard to migrate to", sh.id, sh.running))
+	})
+}
+
+// Cancel aborts a job: a queued job completes immediately with every unit
+// accounted as canceled; a running job has its non-final units canceled and
+// its pilots torn down, completing in state JobCanceled with a report
+// accounting the canceled units. Canceling a finished job is a no-op.
 func (j *Job) Cancel(reason string) {
 	if reason == "" {
 		reason = "canceled"
 	}
-	j.shard.sync(func() {
+	for {
 		if j.finished() {
 			return
 		}
-		j.mu.Lock()
-		if j.cancelReason == "" {
-			j.cancelReason = reason
+		sh := j.sh.Load()
+		handled := false
+		sh.sync(func() {
+			if j.sh.Load() != sh {
+				return // migrated under our feet; retry on the new shard
+			}
+			handled = j.cancelLocked(sh, reason)
+		})
+		if handled {
+			return
 		}
-		j.mu.Unlock()
-		j.exec.Cancel(reason)
-	})
+		runtime.Gosched()
+	}
+}
+
+// cancelLocked runs under sh's engine serialization. It reports whether the
+// cancel was delivered — directly, or left for an in-flight handoff to honor
+// on landing; false means the job moved to another shard and the caller must
+// retry there.
+func (j *Job) cancelLocked(sh *shardEnv, reason string) bool {
+	if j.finished() {
+		return true
+	}
+	j.mu.Lock()
+	if j.cancelReason == "" {
+		j.cancelReason = reason
+	}
+	owner := j.sh.Load()
+	enacted, handoff, exec := j.enacted, j.handoff, j.exec
+	j.mu.Unlock()
+	if owner != sh {
+		// The job landed elsewhere after the caller captured its shard; the
+		// reason is recorded, but tearing down engine state must happen
+		// under the owner's serialization.
+		return false
+	}
+	switch {
+	case enacted:
+		// Canceling the last unit fires the execution's completion callback,
+		// which completes the job with the canceled-units report.
+		exec.Cancel(reason)
+		return true
+	case handoff:
+		// Popped from its origin, not yet landed: the migrator observes the
+		// reason under the destination's lock and completes the job there.
+		return true
+	default:
+		// Still queued on sh: unlink and finish without ever enacting.
+		if sh.removeQueued(j) && j.migratable {
+			j.env.stealer.NoteQueued(sh.id, -1)
+		}
+		j.complete(core.CanceledReport(j.w), nil)
+		return true
+	}
+}
+
+// ownedByLocked reports whether sh is currently responsible for j. The
+// caller holds sh's engine lock; the shard pointer and handoff flag are
+// re-read under j.mu, so a handoff that moved the job after the caller
+// captured its shard cannot be missed: phase 1 (pop, handoff=true) runs
+// under the origin's lock — excluded while the caller holds it — and
+// phase 2's landing publishes the new shard pointer before clearing the
+// flag. Without this check a waiter pumping the drained origin could
+// misattribute the origin's empty engine to a job that just enacted on its
+// destination, and fail or cancel it against the wrong engine.
+func (j *Job) ownedByLocked(sh *shardEnv) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sh.Load() == sh && !j.handoff
 }
 
 // finished reports terminal state without blocking.
@@ -417,7 +880,10 @@ func (j *Job) publish(r trace.Record) {
 }
 
 // complete records the terminal outcome exactly once and releases waiters
-// and event consumers.
+// and event consumers. Every completion path — engine callbacks, pump
+// drains, cancels, handoff landings — runs under the current shard's engine
+// serialization, which is what makes the admission bookkeeping (running,
+// queue) safe here.
 func (j *Job) complete(r *Report, err error) {
 	j.mu.Lock()
 	if j.completed {
@@ -434,8 +900,19 @@ func (j *Job) complete(r *Report, err error) {
 		st = JobFailed
 	}
 	j.state.Store(int32(st))
+	enacted := j.enacted
 	j.mu.Unlock()
-	j.shard.inflight.Add(int64(-j.tasks))
+	sh := j.sh.Load()
+	sh.pendingCost.Add(-j.cost)
+	if st == JobDone {
+		// Completed work feeds the observed-throughput side of weighted
+		// placement; canceled and failed jobs tell us nothing about rate.
+		sh.doneCost.Add(j.cost)
+	}
+	if enacted {
+		sh.running--
+		j.env.admitNextLocked(sh)
+	}
 	j.eventsClosed.Store(true)
 	close(j.events)
 	close(j.done)
@@ -450,37 +927,88 @@ const pumpBatch = 64
 // steps — and only this job's shard, so waiters on different shards fire
 // events truly in parallel. All access to one shard's engine runs under its
 // mutex; concurrent waiters of the same shard take turns firing batches, and
-// any waiter's step may complete any tenant's job on that shard.
-func (sh *shardEnv) pump(j *Job) {
-	sh.mu.Lock()
+// any waiter's step may complete any tenant's job on that shard. It reports
+// whether the job is stalled: the engine drained with the (migratable) job
+// still queued, so the waiter must migrate it or give up.
+func (sh *shardEnv) pump(j *Job) (stalled bool) {
+	e := j.env
+	if e.steal {
+		if !sh.mu.TryLock() {
+			// Our shard is already being pumped; contribute a bounded batch
+			// to the most loaded shard instead of just blocking.
+			e.helpPump(sh)
+			sh.mu.Lock()
+		}
+	} else {
+		sh.mu.Lock()
+	}
 	defer sh.mu.Unlock()
+	if !j.ownedByLocked(sh) {
+		return false // migrated (or mid-handoff) while we waited for the lock
+	}
 	if j.finished() {
-		return
+		return false
 	}
-	if sh.stepBatch(j) && !j.finished() {
-		// The shard's engine drained with this job incomplete: nothing
-		// scheduled can make it progress, so fail it with the diagnostic
-		// state summary. Other live jobs on the shard fail the same way when
-		// their waiters observe the drain; new submissions refill the queue
-		// first.
-		j.complete(nil, j.exec.IncompleteError())
+	// The non-blocking query half of the pump seam: a quiescent engine is
+	// already drained-but-blocked, so the waiter reaches the verdict below —
+	// admit, migrate, or fail — without going through a no-op step batch.
+	drained := sh.quiescer != nil && !sh.quiescer.Runnable()
+	if !drained {
+		_, drained = sh.stepBatch(j)
 	}
-}
-
-// stepBatch fires up to pumpBatch events on the shard's engine and reports
-// whether the event queue drained. Batch-capable engines fire in one call;
-// otherwise events fire one at a time, stopping early once j completes.
-func (sh *shardEnv) stepBatch(j *Job) (drained bool) {
-	if sh.batch != nil {
-		return sh.batch.StepN(pumpBatch) < pumpBatch
+	if !drained || j.finished() {
+		return false
 	}
-	for i := 0; i < pumpBatch; i++ {
-		if j.finished() {
+	if !j.ownedByLocked(sh) {
+		// A handoff completed while we were firing events (its phase 1 ran
+		// before we took the lock): the drain verdict below would judge the
+		// wrong shard. The next Wait iteration pumps the job's new home.
+		return false
+	}
+	// The shard's engine drained with this job incomplete.
+	if e.steal && len(sh.queue) > 0 && sh.running == 0 {
+		// Quiet engine with a free window: admit queued jobs (ours may be
+		// among them) and keep pumping.
+		e.admitNextLocked(sh)
+		return false
+	}
+	if JobState(j.state.Load()) == JobQueued {
+		// Queued behind a wedged window: the running jobs hold every
+		// admission slot but nothing scheduled can make them progress.
+		if !j.migratable {
+			j.complete(nil, fmt.Errorf("aimes: shard s%d drained with the job still queued behind %d wedged jobs", sh.id, sh.running))
 			return false
 		}
-		if !sh.stepper.Step() {
-			return true
-		}
+		return true
 	}
+	// Nothing scheduled can make this enacted job progress: fail it with the
+	// diagnostic state summary. Other live jobs on the shard fail the same
+	// way when their waiters observe the drain; new submissions refill the
+	// queue first.
+	j.complete(nil, j.exec.IncompleteError())
 	return false
+}
+
+// stepBatch fires up to pumpBatch events on the shard's engine, reporting
+// how many fired and whether the event queue drained, and accounts the wall
+// time spent firing toward the shard's observed-throughput signal.
+// Batch-capable engines fire in one call; otherwise events fire one at a
+// time, stopping early once j (when non-nil) completes.
+func (sh *shardEnv) stepBatch(j *Job) (fired int, drained bool) {
+	start := time.Now()
+	defer func() { sh.busyNanos.Add(time.Since(start).Nanoseconds()) }()
+	if sh.batch != nil {
+		fired = sh.batch.StepN(pumpBatch)
+		return fired, fired < pumpBatch
+	}
+	for fired < pumpBatch {
+		if j != nil && j.finished() {
+			return fired, false
+		}
+		if !sh.stepper.Step() {
+			return fired, true
+		}
+		fired++
+	}
+	return fired, false
 }
