@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke ci
 
 build:
 	$(GO) build ./...
@@ -65,4 +65,13 @@ smoke:
 		timeout 120 $(GO) run ./$$d || exit 1; \
 	done
 
-ci: lint race bench-check scenarios
+# Worker-backend smoke: build the standalone shard worker, run the
+# self-hosted workers example under a timeout, and run the race-enabled
+# backend parity + crash-containment tests (each spawns real worker
+# processes via the test binary's WorkerMain self-exec).
+worker-smoke:
+	$(GO) build -o /tmp/aimes-worker ./cmd/aimes-worker
+	timeout 120 $(GO) run ./examples/workers
+	$(GO) test -race -count=1 -run 'TestBackendParity|TestWorker' .
+
+ci: lint race bench-check scenarios worker-smoke

@@ -61,6 +61,17 @@
 // through a migration-safe handoff, while pinned tenants' shards stay
 // sealed against migrants.
 //
+// # Backends
+//
+// Each shard runs on an execution backend — the narrow seam between the
+// environment's orchestration (placement, admission, stealing, waiting) and
+// the shard's engine stack. BackendLocal (the default) runs shards
+// in-process; BackendWorker (WithWorkers) runs each shard as a child OS
+// process speaking a framed JSON protocol over stdio, so a multi-tenant
+// workload scales past one process's heap and GC. The same seeded, pinned
+// workload produces identical reports on both backends; see WithWorkers for
+// the caveats.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the paper
 // reproduction.
 package aimes
@@ -68,17 +79,20 @@ package aimes
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"math"
+	"os"
+	"os/exec"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"aimes/internal/backend"
 	"aimes/internal/bundle"
 	"aimes/internal/core"
-	"aimes/internal/netsim"
 	"aimes/internal/pilot"
-	"aimes/internal/saga"
 	"aimes/internal/shard"
 	"aimes/internal/sim"
 	"aimes/internal/site"
@@ -194,6 +208,8 @@ type (
 	PilotConfig = pilot.Config
 	// Recorder holds the execution trace.
 	Recorder = trace.Recorder
+	// TraceRecord is one timestamped state transition in a trace.
+	TraceRecord = trace.Record
 )
 
 // DefaultTestbed returns the five-resource simulated testbed standing in
@@ -214,28 +230,41 @@ type EnvConfig struct {
 }
 
 // Environment is a ready-to-use multi-tenant execution environment,
-// partitioned into one or more parallel simulation shards. Each shard is a
-// complete, independent stack — an engine (virtual-time by default,
-// wall-clock with WithRealTime), a resource testbed, a SAGA session, a
-// bundle, and an execution manager — so jobs placed on different shards
-// execute truly in parallel with no shared engine lock. Submit places jobs
-// onto shards (JobConfig.Placement), and every job's trace tees through its
-// shard's recorder into one aggregate trace. Submit/Wait/Cancel are safe for
-// concurrent use from multiple goroutines; the blocking Run* methods are
-// shims over them.
+// partitioned into one or more parallel simulation shards. Each shard runs
+// on an execution backend — a complete, independent stack (engine, resource
+// testbed, SAGA session, bundle, execution manager) behind the narrow
+// Backend seam, either in-process (BackendLocal, the default) or as a child
+// OS process (BackendWorker, see WithWorkers) — so jobs placed on different
+// shards execute truly in parallel with no shared engine lock. Submit
+// places jobs onto shards (JobConfig.Placement), and every job's trace tees
+// through its shard's recorder into one aggregate trace. Submit/Wait/Cancel
+// are safe for concurrent use from multiple goroutines; the blocking Run*
+// methods are shims over them.
 type Environment struct {
 	shards   []*shardEnv
 	picker   *shard.Picker
 	stealer  *shard.Stealer
 	eventBuf int
 	realTime bool
+	kind     BackendKind
+
+	// resources is the testbed site names in registration order — identical
+	// on every shard and backend, so validation never crosses the seam.
+	resources []string
+
+	// mirror is a lazily built local stack mirroring the workers' site
+	// configuration, backing Bundle/NewMonitor on worker environments
+	// (static view: the workers' live wait histories stay in the workers).
+	// Unused on local environments, which expose shard 0's real stack.
+	mirrorCfg  backend.Config
+	mirrorOnce sync.Once
+	mirror     *backend.Local
 
 	// steal enables cross-shard work stealing (WithWorkStealing on a
-	// multi-shard virtual-time environment): Submit keeps at most window
-	// jobs enacted per shard and queues the rest un-enacted, which is what
-	// makes them safe to migrate.
-	steal  bool
-	window int
+	// multi-shard virtual-time environment): Submit keeps at most the
+	// admission window's worth of jobs enacted per shard and queues the
+	// rest un-enacted, which is what makes them safe to migrate.
+	steal bool
 
 	// agg is the aggregate execution trace: every shard's job records,
 	// entity-qualified by job namespace. Shards buffer their records locally
@@ -244,37 +273,60 @@ type Environment struct {
 	aggMu sync.Mutex
 	agg   *trace.Recorder
 
+	// subs is the live-trace subscription list (Subscribe), copy-on-write so
+	// the per-record fanout on the simulation hot path is one atomic load.
+	subMu sync.Mutex
+	subs  atomic.Pointer[[]*TraceSub]
+
 	// jobMu serializes shard placement and global job-ID allocation.
 	jobMu  sync.Mutex
 	jobSeq int
+
+	closed atomic.Bool
 }
 
-// shardEnv is one simulation shard: a full engine stack plus the mutex that
-// serializes all engine access (enactment, stepping, cancellation) on
-// virtual-time engines, where callbacks run on whichever goroutine pumps.
-// Wall-clock engines serialize through their own Sync instead.
+// shardEnv is the environment's frontend for one simulation shard: the
+// backend handle plus everything the orchestration layer keeps on its side
+// of the seam — the mutex serializing backend access, the admission queue,
+// the live-job registry, load accounting, and the shard trace buffer. On
+// virtual-time backends all engine access (enactment, stepping,
+// cancellation) runs under mu; the wall-clock engine serializes through its
+// own Sync instead.
 type shardEnv struct {
-	id       int
-	eng      sim.Engine
-	stepper  sim.Stepper      // non-nil on virtual-time engines
-	batch    sim.BatchStepper // non-nil when the stepper fires batches
-	quiescer sim.Quiescer     // non-nil when the engine can report runnability
-	testbed  *site.Testbed
-	bndl     *bundle.Bundle
-	mgr      *core.Manager
-	rng      *rand.Rand
+	id  int
+	env *Environment
+	be  backend.Backend
 
-	mu     sync.Mutex
-	jobSeq int // shard-local job sequence; names the namespace
+	local     *backend.Local    // non-nil for the in-process backend
+	syncer    sim.Syncer        // wall-clock callback serialization; nil → mu
+	quiet     backend.Quiescent // non-nil when the backend answers runnability
+	steppable bool
 
-	// Admission state, guarded by mu (all writers hold the engine lock):
-	// queue holds submitted jobs awaiting enactment behind the admission
-	// window — still pure descriptors, which is what makes them migratable —
-	// and running counts enacted, unfinished jobs. Without work stealing the
-	// window is unbounded and the queue stays empty.
+	// rec is the shard's frontend trace: every record of this shard's jobs,
+	// entity-qualified by namespace, fed by the backend sink. Its observer
+	// buffers into pendingAgg and fans out to live subscriptions.
+	rec *trace.Recorder
+
+	mu sync.Mutex
+
+	// jobs registers every live job currently owned by the shard (queued or
+	// enacted), keyed by the environment-global job ID — the routing table
+	// for backend events and the roster a worker-death handler fails.
+	// Guarded by the shard's engine serialization.
+	jobs map[int]*Job
+
+	// Admission state, guarded like jobs: queue holds submitted jobs
+	// awaiting enactment behind the admission window — still pure
+	// descriptors, which is what makes them migratable — and running counts
+	// enacted, unfinished jobs. Without work stealing the window is
+	// unbounded and the queue stays empty.
 	queue     []*Job
 	running   int
 	admitting bool // admission-loop reentrancy guard (completions re-enter)
+
+	// Adaptive admission window telemetry (see Environment.windowFor).
+	lastWindow atomic.Int32
+	peakWindow atomic.Int32
 
 	// Load signals read lock-free by placement and stealing decisions.
 	// pendingCost is the expected work submitted and not yet finished;
@@ -283,7 +335,9 @@ type shardEnv struct {
 	// events. Costs are in milli-core-seconds (Workload.CoreSeconds × 1000).
 	pendingCost atomic.Int64
 	doneCost    atomic.Int64
+	doneJobs    atomic.Int64
 	busyNanos   atomic.Int64
+	eventsFired atomic.Int64
 
 	// pendingAgg buffers this shard's trace records for the environment
 	// aggregate. Appends run under the shard's engine serialization, so the
@@ -292,17 +346,39 @@ type shardEnv struct {
 	pendingAgg []trace.Record
 }
 
-// sync runs fn serialized with the shard engine's callbacks: under Sync on
-// wall-clock engines, under the shard mutex on virtual-time engines. Every
-// entry point that touches a shard's enactment state goes through it.
+// sync runs fn serialized with the shard backend's callbacks: under the
+// engine's Sync on wall-clock backends, under the shard mutex otherwise.
+// Every entry point that touches a shard's enactment state goes through it.
 func (sh *shardEnv) sync(fn func()) {
-	if s, ok := sh.eng.(sim.Syncer); ok {
-		s.Sync(fn)
+	if sh.syncer != nil {
+		sh.syncer.Sync(fn)
 		return
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fn()
+}
+
+// JobTrace implements backend.Sink: it routes one raw trace record of a job
+// to the job's event stream and, entity-qualified, into the shard trace
+// (which buffers for the environment aggregate and live subscriptions). It
+// runs under the shard's engine serialization.
+func (sh *shardEnv) JobTrace(key int, ns string, rec trace.Record) {
+	j := sh.jobs[key]
+	if j == nil {
+		return
+	}
+	j.publish(rec)
+	sh.rec.Record(rec.Time, trace.QualifyEntity(rec.Entity, ns), rec.State, rec.Detail)
+}
+
+// JobDone implements backend.Sink: the backend finished a job (completed,
+// canceled, or failed with a report) and the environment-side handle
+// completes. It runs under the shard's engine serialization.
+func (sh *shardEnv) JobDone(key int, report *core.Report) {
+	if j := sh.jobs[key]; j != nil {
+		j.complete(report, nil)
+	}
 }
 
 // Option configures NewEnv.
@@ -317,6 +393,8 @@ type envOptions struct {
 	shards    int
 	shardsSet bool
 	steal     bool
+	kind      BackendKind
+	workerCmd []string
 }
 
 // WithSeed sets the seed driving all randomness; environments with equal
@@ -338,6 +416,8 @@ func WithPilotConfig(cfg PilotConfig) Option {
 // WithRealTime runs the environment on the wall-clock engine: batch queues,
 // staging links and agents fire on real timers, and jobs complete without
 // anyone pumping. Intended for small, fast testbeds (see examples/realtime).
+// Mutually exclusive with the worker backend (WithWorkers), whose protocol
+// is virtual-time by construction.
 func WithRealTime() Option { return func(o *envOptions) { o.realTime = true } }
 
 // WithEventBuffer sets the default per-job Events channel capacity (default
@@ -367,15 +447,17 @@ func WithShards(n int) Option {
 
 // WithWorkStealing enables cross-shard work stealing, so a skewed tenant mix
 // still saturates the hardware: Submit keeps a bounded number of jobs
-// enacted per shard (the admission window) and queues the rest un-enacted.
-// A queued job is a pure descriptor — no pilots, no events, no randomness
-// drawn — so it can be handed off to a less-loaded shard with a
-// migration-safe handoff: the destination assigns a fresh namespace and
-// derives the strategy from its own seeded randomness, recording an "em"
-// MIGRATED trace event. Waiters of queued migratable jobs migrate them,
-// completing waiters rebalance one queued job on their way out, and waiters
-// finding their shard's lock contended help-pump the most loaded shard in
-// bounded, lock-ordered batches (see StealStats).
+// enacted per shard (the admission window, sized adaptively from the
+// shard's observed drain rate and queue depth — see StealStats.Windows) and
+// queues the rest un-enacted. A queued job is a pure descriptor — no
+// pilots, no events, no randomness drawn — so it can be handed off to a
+// less-loaded shard with a migration-safe handoff: the destination assigns
+// a fresh namespace and derives the strategy from its own seeded
+// randomness, recording an "em" MIGRATED trace event. Waiters of queued
+// migratable jobs migrate them, completing waiters rebalance one queued job
+// on their way out, and waiters finding their shard's lock contended
+// help-pump the most loaded shard in bounded, lock-ordered batches (see
+// StealStats).
 //
 // What migrates and what does not: only queued, never-enacted jobs move —
 // an enacted job's pilots and events stay on its shard and are only ever
@@ -383,22 +465,91 @@ func WithShards(n int) Option {
 // default; pinned jobs never migrate unless JobConfig.Migrate is
 // MigrateAllow, and a pinned non-migratable submission permanently seals its
 // shard against incoming migrants, preserving the per-shard determinism
-// contract for that tenant (see the Migrate policy for the caveats).
+// contract for that tenant (see the Migrate policy for the caveats). Sealed
+// shards also keep the constant minimum admission window, so the tenant's
+// trajectory never depends on wall-clock drain measurements.
 //
 // Work stealing requires the virtual-time engine (combining it with
 // WithRealTime is rejected) and only has effect with at least two shards.
+// It composes with the worker backend: the same two-phase descriptor
+// handoff routes through the transport, because a queued job is a
+// descriptor the backend has never seen.
 func WithWorkStealing() Option { return func(o *envOptions) { o.steal = true } }
+
+// BackendKind selects a shard execution backend (see WithBackend).
+type BackendKind string
+
+// Shard execution backends.
+const (
+	// BackendLocal runs every shard in-process — the default, bit-identical
+	// to the environments of releases before the backend seam existed.
+	BackendLocal BackendKind = "local"
+	// BackendWorker runs every shard as a child OS process (one per shard)
+	// speaking a length-prefixed JSON protocol over stdio. See WithWorkers.
+	BackendWorker BackendKind = "worker"
+)
+
+// WithBackend selects the execution backend shards run on. BackendLocal
+// needs no configuration. BackendWorker spawns one child process per shard;
+// see WithWorkers (which implies it) for command resolution and caveats.
+func WithBackend(kind BackendKind) Option {
+	return func(o *envOptions) { o.kind = kind }
+}
+
+// WithWorkers partitions the environment into n shards, each running as a
+// child OS process — WithBackend(BackendWorker) plus WithShards(n). Worker
+// shards put each simulation on its own heap and GC, and are the stepping
+// stone to multi-host execution: everything that crosses the process
+// boundary is a serializable descriptor, trace record, or report.
+//
+// The worker command resolves, in order: WithWorkerCommand, the
+// $AIMES_WORKER environment variable, an "aimes-worker" binary on $PATH
+// (see cmd/aimes-worker), and finally the current executable itself when
+// the program called WorkerMain at the top of main (tests and examples
+// self-host this way).
+//
+// Determinism: the same seeded, pinned workload produces reports identical
+// to the local backend's — each worker hosts the identical shard stack with
+// the identical derived seed. Two caveats: with WithWorkStealing, admission
+// from the queue is batch-granular over the wire (a completion admits the
+// next queued job when the step batch returns, not mid-batch), so
+// stealing-mode trajectories may differ between backends — pinned,
+// non-migratable tenants are unaffected; and Bundle/NewMonitor expose a
+// static local mirror of the testbed rather than the workers' live wait
+// histories (Derive and staged-execution feedback do cross the wire).
+//
+// Mutually exclusive with WithRealTime. A crashed worker fails its own
+// shard's jobs with a descriptive error; other shards keep running.
+func WithWorkers(n int) Option {
+	return func(o *envOptions) {
+		o.kind = BackendWorker
+		o.shards = n
+		o.shardsSet = true
+	}
+}
+
+// WithWorkerCommand sets the command spawned for each worker shard. The
+// command must speak the worker protocol on stdin/stdout: cmd/aimes-worker
+// does, and so does any binary that calls WorkerMain first thing in main.
+func WithWorkerCommand(path string, args ...string) Option {
+	return func(o *envOptions) { o.workerCmd = append([]string{path}, args...) }
+}
 
 // NewEnv builds an execution environment from functional options:
 //
 //	env, err := aimes.NewEnv(aimes.WithSeed(42), aimes.WithSites(sites...))
 func NewEnv(opts ...Option) (*Environment, error) {
-	o := envOptions{}
+	o := envOptions{kind: BackendLocal}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.eventBuf <= 0 {
 		o.eventBuf = 1024
+	}
+	switch o.kind {
+	case BackendLocal, BackendWorker:
+	default:
+		return nil, fmt.Errorf("aimes: unknown backend %q (want BackendLocal or BackendWorker)", o.kind)
 	}
 	if o.shardsSet {
 		if o.shards < 1 {
@@ -411,6 +562,21 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	if o.steal && o.realTime {
 		return nil, fmt.Errorf("aimes: WithWorkStealing with WithRealTime: work stealing migrates queued jobs between shard engines pumped in virtual time; the wall-clock engine runs a single self-advancing shard")
 	}
+	if o.kind == BackendWorker {
+		if o.realTime {
+			return nil, fmt.Errorf("aimes: the worker backend is virtual-time by construction (the parent drives each worker's engine over the wire); WithRealTime requires BackendLocal")
+		}
+		if os.Getenv(backend.WorkerEnv) != "" {
+			return nil, fmt.Errorf("aimes: a worker process may not spawn workers of its own (call aimes.WorkerMain at the top of main so the child serves instead of re-running the program)")
+		}
+		if o.workerCmd == nil {
+			argv, err := resolveWorkerCommand()
+			if err != nil {
+				return nil, err
+			}
+			o.workerCmd = argv
+		}
+	}
 	n := o.shards
 	if !o.shardsSet {
 		if o.realTime {
@@ -419,86 +585,156 @@ func NewEnv(opts ...Option) (*Environment, error) {
 			n = runtime.GOMAXPROCS(0)
 		}
 	}
-	env := &Environment{
-		picker:   shard.NewPicker(n),
-		stealer:  shard.NewStealer(n),
-		eventBuf: o.eventBuf,
-		realTime: o.realTime,
-		steal:    o.steal && n > 1, // a single shard has no peers to steal from
-		window:   1 << 30,          // effectively unbounded: enact at Submit
-		agg:      trace.NewRecorder(),
-	}
-	if env.steal {
-		env.window = admitWindow
-	}
-	for k := 0; k < n; k++ {
-		sh, err := newShardEnv(k, &o)
-		if err != nil {
-			return nil, err
-		}
-		// Tee the shard's trace into its aggregate buffer. Records arrive
-		// already entity-qualified (see Submit) and under the shard's own
-		// serialization, so concurrent shards never contend here; Recorder
-		// drains the buffers into the aggregate on demand.
-		sh.mgr.Recorder().Observe(func(r trace.Record) {
-			sh.pendingAgg = append(sh.pendingAgg, r)
-		})
-		env.shards = append(env.shards, sh)
-	}
-	return env, nil
-}
-
-// newShardEnv builds one complete shard stack. Shard 0 keeps the base seed,
-// so a single-shard environment reproduces pre-sharding trajectories
-// exactly; higher shards run on decorrelated, deterministic seeds.
-func newShardEnv(k int, o *envOptions) (*shardEnv, error) {
-	seed := shard.Seed(o.seed, k)
-	var eng sim.Engine
-	if o.realTime {
-		eng = sim.NewRealTime()
-	} else {
-		eng = sim.NewSim()
-	}
 	configs := o.sites
 	if configs == nil {
 		configs = site.DefaultTestbed()
 	}
-	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(seed))
-	if err != nil {
-		return nil, err
+	names := make([]string, 0, len(configs))
+	for _, c := range configs {
+		names = append(names, c.Name)
 	}
-	sess := saga.NewSession()
-	for _, s := range tb.Sites() {
-		sess.Register(saga.NewBatchAdaptor(eng, s))
+	env := &Environment{
+		picker:    shard.NewPicker(n),
+		stealer:   shard.NewStealer(n),
+		eventBuf:  o.eventBuf,
+		realTime:  o.realTime,
+		kind:      o.kind,
+		resources: names,
+		steal:     o.steal && n > 1, // a single shard has no peers to steal from
+		agg:       trace.NewRecorder(),
 	}
-	b := bundle.New(tb.Sites())
-	links := func(resource string) *netsim.Link {
-		s := tb.Site(resource)
-		if s == nil {
-			return nil
+	for k := 0; k < n; k++ {
+		sh, err := env.newShard(k, &o)
+		if err != nil {
+			env.Close()
+			return nil, err
 		}
-		return s.Link()
+		env.shards = append(env.shards, sh)
 	}
-	pcfg := pilot.DefaultConfig()
-	if o.pilot != nil {
-		pcfg = *o.pilot
+	env.mirrorCfg = backend.Config{
+		Shard: 0, Seed: shard.Seed(o.seed, 0), Sites: o.sites, Pilot: o.pilot,
 	}
-	rng := rand.New(rand.NewSource(seed ^ 0x414D4553)) // "AMES"
+	return env, nil
+}
+
+// mirrorLocal lazily builds the worker environment's query mirror: Bundle
+// and NewMonitor need an in-process stack even when every live shard is out
+// of process. Built like shard 0, never enacted on, and only if one of
+// those accessors is actually called — the common Submit/Wait path never
+// pays for it. Construction cannot realistically fail here (the same
+// configuration already built every worker's stack); if it somehow does,
+// the accessors return nil.
+func (e *Environment) mirrorLocal() *backend.Local {
+	e.mirrorOnce.Do(func() {
+		e.mirror, _ = backend.NewLocal(e.mirrorCfg, nopSink{})
+	})
+	return e.mirror
+}
+
+// newShard builds one shard frontend and its backend. Shard 0 keeps the
+// base seed, so a single-shard environment reproduces pre-sharding
+// trajectories exactly; higher shards run on decorrelated, deterministic
+// seeds (shard.Seed).
+func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 	sh := &shardEnv{
-		id: k, eng: eng, testbed: tb, bndl: b,
-		mgr: core.NewManager(eng, b, sess, links, pcfg, nil, rng),
-		rng: rng,
+		id:   k,
+		env:  e,
+		rec:  trace.NewRecorder(),
+		jobs: make(map[int]*Job),
 	}
-	if st, ok := eng.(sim.Stepper); ok {
-		sh.stepper = st
+	sh.lastWindow.Store(admitWindow)
+	sh.peakWindow.Store(admitWindow)
+	// Buffer the shard's qualified records for the environment aggregate and
+	// fan them out to live subscriptions. Runs under the shard's own
+	// serialization, so concurrent shards never contend here.
+	sh.rec.Observe(func(r trace.Record) {
+		sh.pendingAgg = append(sh.pendingAgg, r)
+		if subs := e.subs.Load(); subs != nil {
+			for _, s := range *subs {
+				s.push(r)
+			}
+		}
+	})
+	cfg := backend.Config{
+		Shard:    k,
+		Seed:     shard.Seed(o.seed, k),
+		Sites:    o.sites,
+		Pilot:    o.pilot,
+		RealTime: o.realTime,
 	}
-	if bs, ok := eng.(sim.BatchStepper); ok {
-		sh.batch = bs
+	switch o.kind {
+	case BackendWorker:
+		w, err := backend.SpawnWorker(o.workerCmd, cfg, sh, func(cause error) {
+			e.shardDied(sh, cause)
+		})
+		if err != nil {
+			return nil, err
+		}
+		sh.be = w
+		sh.steppable = true
+	default:
+		l, err := backend.NewLocal(cfg, sh)
+		if err != nil {
+			return nil, err
+		}
+		sh.be = l
+		sh.local = l
+		sh.syncer = l.EngineSyncer()
+		sh.steppable = l.Steppable()
 	}
-	if q, ok := eng.(sim.Quiescer); ok {
-		sh.quiescer = q
+	if q, ok := sh.be.(backend.Quiescent); ok && sh.steppable {
+		sh.quiet = q
 	}
 	return sh, nil
+}
+
+// resolveWorkerCommand finds the worker executable when WithWorkerCommand
+// was not given: $AIMES_WORKER, then aimes-worker on $PATH, then — if this
+// program registered itself via WorkerMain — the current executable.
+func resolveWorkerCommand() ([]string, error) {
+	if cmd := os.Getenv("AIMES_WORKER"); cmd != "" {
+		return []string{cmd}, nil
+	}
+	if path, err := exec.LookPath("aimes-worker"); err == nil {
+		return []string{path}, nil
+	}
+	if workerMainArmed.Load() {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("aimes: resolving the current executable for self-hosted workers: %w", err)
+		}
+		return []string{self}, nil
+	}
+	return nil, fmt.Errorf("aimes: no worker command: pass WithWorkerCommand, set $AIMES_WORKER, install aimes-worker on $PATH (go build ./cmd/aimes-worker), or call aimes.WorkerMain at the top of main to self-host workers")
+}
+
+// nopSink discards backend events; the query mirror never enacts, so it
+// never emits any.
+type nopSink struct{}
+
+func (nopSink) JobTrace(int, string, trace.Record) {}
+func (nopSink) JobDone(int, *core.Report)          {}
+
+// workerMainArmed records that this program routes worker children through
+// WorkerMain, making self-exec a safe worker-command fallback.
+var workerMainArmed atomic.Bool
+
+// WorkerMain is the self-hosting hook for worker processes: call it first
+// thing in main (or TestMain). In a process spawned as a worker shard it
+// serves the worker protocol on stdin/stdout and exits; in every other
+// process it returns immediately and arms the current executable as the
+// worker-command fallback, so
+//
+//	func main() {
+//		aimes.WorkerMain()
+//		env, _ := aimes.NewEnv(aimes.WithWorkers(4))
+//		...
+//	}
+//
+// needs no separate worker binary.
+func WorkerMain() {
+	workerMainArmed.Store(true)
+	backend.ServeIfWorker()
 }
 
 // NewSimulatedEnvironment builds a deterministic simulated environment.
@@ -518,15 +754,128 @@ func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
 // Shards reports the number of parallel simulation shards.
 func (e *Environment) Shards() int { return len(e.shards) }
 
-// admitWindow bounds how many jobs a shard keeps enacted at once when work
-// stealing is on; everything beyond it queues un-enacted and stays
+// Backend reports the execution backend the environment's shards run on.
+func (e *Environment) Backend() BackendKind { return e.kind }
+
+// Close releases the environment's backends: a no-op for local shards, an
+// orderly shutdown of the child processes for worker shards. Jobs still
+// running on worker shards fail as their workers exit. Close is idempotent;
+// environments on the local backend need not call it.
+func (e *Environment) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var first error
+	for _, sh := range e.shards {
+		if err := sh.be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// KillWorker terminates shard k's worker process immediately — a chaos hook
+// for testing crash handling. The shard's jobs fail with a descriptive
+// error; other shards keep running. It errors on local shards and
+// out-of-range indices.
+func (e *Environment) KillWorker(k int) error {
+	if k < 0 || k >= len(e.shards) {
+		return fmt.Errorf("aimes: shard %d out of range [0,%d)", k, len(e.shards))
+	}
+	w, ok := e.shards[k].be.(*backend.Worker)
+	if !ok {
+		return fmt.Errorf("aimes: shard %d runs on the local backend; only worker shards can be killed", k)
+	}
+	return w.Kill()
+}
+
+// shardDied fails every job a dead shard still owns — queued or enacted —
+// with the crash cause, so waiters get errors instead of hangs. Jobs on
+// other shards are untouched. It runs from the worker watcher goroutine.
+func (e *Environment) shardDied(sh *shardEnv, cause error) {
+	sh.sync(func() {
+		jobs := make([]*Job, 0, len(sh.jobs))
+		for _, j := range sh.jobs {
+			jobs = append(jobs, j)
+		}
+		// Deterministic failure order (map iteration is not).
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+		for _, j := range jobs {
+			if j.sh.Load() != sh {
+				continue // mid-handoff; the migrator owns it now
+			}
+			if JobState(j.state.Load()) == JobQueued && sh.removeQueued(j) && j.migratable {
+				e.stealer.NoteQueued(sh.id, -1)
+			}
+			j.complete(nil, fmt.Errorf("aimes: shard s%d: %v", sh.id, cause))
+		}
+	})
+}
+
+// admitWindow is the minimum admission window: how many jobs a shard keeps
+// enacted at once when work stealing is on, before the adaptive sizing has
+// any history. Everything beyond the window queues un-enacted and stays
 // migratable. Small enough that a skewed burst leaves most of its jobs
 // stealable, large enough that a shard always has concurrent tenants to
-// interleave.
+// interleave. Sealed shards pin their window here permanently.
 const admitWindow = 4
 
+// maxAdmitWindow caps the adaptive window, bounding how much work admission
+// can strand on one shard before stealing sees it.
+const maxAdmitWindow = 64
+
+// windowFor returns the shard's current admission window. Without work
+// stealing it is unbounded (enact at Submit). With stealing, the window
+// adapts to the shard's observed drain rate and queue depth: the rate
+// observed per admission opportunity is doneJobs×pumpBatch/eventsFired —
+// how many jobs one pump batch's worth of engine events retires on average
+// — and the window keeps roughly two batches' worth of drainable jobs
+// enacted. Heavy tenants burn far more than a batch of events per job and
+// stay at the minimum; a flood of tiny tenants retires several jobs per
+// batch and would trickle through a constant-size window, under-filling
+// the shard between admissions, so the window grows — capped by the work
+// actually present (running + queued) and by maxAdmitWindow. Every input
+// is a virtual-event quantity (jobs completed, events fired), never a wall
+// clock, so the chosen window at any engine point is deterministic and the
+// per-shard determinism contract survives adaptation; sealed shards
+// (pinned, non-migratable tenants) still pin the constant minimum as an
+// extra predictability guarantee. Must run under the shard's serialization.
+func (e *Environment) windowFor(sh *shardEnv) int {
+	if !e.steal {
+		return int(math.MaxInt32)
+	}
+	if e.stealer.Sealed(sh.id) {
+		sh.noteWindow(admitWindow)
+		return admitWindow
+	}
+	w := admitWindow
+	fired, jobs := sh.eventsFired.Load(), sh.doneJobs.Load()
+	if fired > 0 && jobs > 0 {
+		target := int(math.Ceil(2 * float64(jobs) * pumpBatch / float64(fired)))
+		if present := sh.running + len(sh.queue); target > present {
+			target = present // queue depth bounds the window: no admission slack beyond real work
+		}
+		if target > w {
+			w = target
+		}
+		if w > maxAdmitWindow {
+			w = maxAdmitWindow
+		}
+	}
+	sh.noteWindow(w)
+	return w
+}
+
+// noteWindow records the chosen admission window for StealStats.
+func (sh *shardEnv) noteWindow(w int) {
+	sh.lastWindow.Store(int32(w))
+	if int32(w) > sh.peakWindow.Load() {
+		sh.peakWindow.Store(int32(w))
+	}
+}
+
 // StealStats counts cross-shard work-stealing activity since the
-// environment was created (all zero without WithWorkStealing).
+// environment was created (zero values without WithWorkStealing).
 type StealStats struct {
 	// Migrations counts queued jobs handed off to another shard before
 	// enactment.
@@ -535,21 +884,40 @@ type StealStats struct {
 	// other than their own job's, while their own shard's lock was held by
 	// another waiter.
 	ForeignPumps int64
+	// Windows is each shard's most recently chosen admission window — the
+	// adaptive bound on enacted-at-once jobs, sized from the shard's
+	// observed drain rate and queue depth (admitWindow floor; sealed shards
+	// stay at the floor). Nil without WithWorkStealing.
+	Windows []int
+	// PeakWindows is each shard's largest window chosen so far. Nil without
+	// WithWorkStealing.
+	PeakWindows []int
 }
 
 // StealStats reports the environment's work-stealing activity.
 func (e *Environment) StealStats() StealStats {
-	return StealStats{
+	s := StealStats{
 		Migrations:   e.stealer.Migrations(),
 		ForeignPumps: e.stealer.ForeignPumps(),
 	}
+	if e.steal {
+		for _, sh := range e.shards {
+			s.Windows = append(s.Windows, int(sh.lastWindow.Load()))
+			s.PeakWindows = append(s.PeakWindows, int(sh.peakWindow.Load()))
+		}
+	}
+	return s
 }
 
 // loadFunc snapshots the weighted-load signal placement and migration run
 // on: a shard's pending expected work (milli-core-seconds, reserved at pick
 // time under the submission lock) divided by its observed drain rate, i.e.
 // an estimate of seconds-to-drain. Shards without enough history borrow the
-// mean rate of those with some, so a fresh shard competes fairly.
+// mean rate of those with some, so a fresh shard competes fairly. The
+// signal is backend-agnostic: every input is frontend accounting (costs
+// reserved at submit, wall time spent in Step calls), so local and worker
+// shards compare on the same scale — a worker's wire overhead shows up as a
+// lower observed drain rate, exactly as it should.
 func (e *Environment) loadFunc() func(int) float64 {
 	rates := make([]float64, len(e.shards))
 	var sum float64
@@ -576,67 +944,208 @@ func (e *Environment) loadFunc() func(int) float64 {
 	}
 }
 
-// Bundle exposes shard 0's resource bundle for queries, monitoring and
-// discovery. All shards share the same site configurations; their predictive
-// wait histories diverge independently as jobs run. Use ShardBundle for a
-// specific shard's view.
-func (e *Environment) Bundle() *Bundle { return e.shards[0].bndl }
+// leastLoadedShard snapshots the weighted loads under the submission lock
+// and returns the least loaded shard index, preferring unsealed shards: a
+// sealed shard hosts a pinned tenant whose determinism contract must not
+// depend on load-derived placements landing there (and consuming its
+// namespace sequence and randomness). Only when every shard is sealed does
+// the overall minimum win.
+func (e *Environment) leastLoadedShard() int {
+	e.jobMu.Lock()
+	defer e.jobMu.Unlock()
+	load := e.loadFunc()
+	best, bestLoad := -1, 0.0
+	anyBest, anyLoad := 0, load(0)
+	for k := 0; k < len(e.shards); k++ {
+		l := load(k)
+		if l < anyLoad {
+			anyBest, anyLoad = k, l
+		}
+		if e.stealer.Sealed(k) {
+			continue
+		}
+		if best < 0 || l < bestLoad {
+			best, bestLoad = k, l
+		}
+	}
+	if best < 0 {
+		return anyBest
+	}
+	return best
+}
 
-// ShardBundle exposes shard k's resource bundle, or nil when k is out of
-// range.
-func (e *Environment) ShardBundle(k int) *Bundle {
-	if k < 0 || k >= len(e.shards) {
+// Bundle exposes the environment's resource bundle for queries, monitoring
+// and discovery. On the local backend this is shard 0's live bundle (all
+// shards share the same site configurations; their predictive wait
+// histories diverge independently as jobs run — use ShardBundle for a
+// specific shard's view). On the worker backend it is a local mirror of the
+// testbed: correct configurations, but the live wait histories stay in the
+// worker processes (Derive crosses the wire and does see them).
+func (e *Environment) Bundle() *Bundle {
+	if e.kind == BackendWorker {
+		if m := e.mirrorLocal(); m != nil {
+			return m.Bundle()
+		}
 		return nil
 	}
-	return e.shards[k].bndl
+	return e.shards[0].local.Bundle()
+}
+
+// ShardBundle exposes shard k's live resource bundle, or nil when k is out
+// of range or the shard runs out of process (worker backend).
+func (e *Environment) ShardBundle(k int) *Bundle {
+	if k < 0 || k >= len(e.shards) || e.shards[k].local == nil {
+		return nil
+	}
+	return e.shards[k].local.Bundle()
 }
 
 // Recorder exposes the aggregate execution trace: every job's pilot, unit
 // and strategy transitions, teed from the per-shard recorders. Each call
-// drains the shards' buffered records into the aggregate; within a shard
-// records stay in order, and across shards they append shard by shard (use
-// the time-sorted accessors ByEntity/ByState for analysis — shards keep
-// independent virtual clocks). Read it only while no job is running; live
-// consumers should stream Job.Events instead.
+// drains the shards' buffered records into the aggregate with an ordered
+// merge by per-shard virtual time — within a shard records keep their
+// engine order, and across shards the drained batch interleaves by
+// timestamp (ties resolve by shard index), so a single drain after a run
+// reads as one coherent timeline even though shards keep independent
+// virtual clocks. The ordering holds per drain: a later drain's records
+// append after an earlier drain's regardless of timestamps, so either
+// drain once at the end, or analyze through the time-sorted accessors
+// (ByEntity, ByState). Read it only while no job is running; live
+// consumers should Subscribe or stream Job.Events instead.
 func (e *Environment) Recorder() *Recorder {
 	e.aggMu.Lock()
 	defer e.aggMu.Unlock()
+	var pending []trace.Record
 	for _, sh := range e.shards {
-		var pending []trace.Record
 		sh.sync(func() {
-			pending = sh.pendingAgg
+			pending = append(pending, sh.pendingAgg...)
 			sh.pendingAgg = nil
 		})
-		for _, r := range pending {
-			e.agg.Record(r.Time, r.Entity, r.State, r.Detail)
-		}
+	}
+	// Merge by record time: concatenated in shard order, one stable sort
+	// interleaves the shards' timelines with ties resolving to the lowest
+	// shard index (and preserves each shard's internal order on equal
+	// timestamps — which also absorbs the one worker-backend edge where a
+	// completion dispatched mid-response admits a job whose later-stamped
+	// records land before the response's remaining earlier ones).
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Time < pending[j].Time })
+	for _, r := range pending {
+		e.agg.Record(r.Time, r.Entity, r.State, r.Detail)
 	}
 	return e.agg
 }
 
+// TraceSub is one live subscription to the environment's aggregate trace
+// (see Subscribe).
+type TraceSub struct {
+	env *Environment
+	ch  chan TraceRecord
+
+	mu      sync.Mutex
+	closed  bool
+	dropped atomic.Int64
+}
+
+// Subscribe opens a bounded live stream of the aggregate trace: every
+// entity-qualified record of every shard's jobs, delivered as it is
+// recorded. buf is the channel capacity (nonpositive falls back to the
+// environment's event buffer); when the consumer lags, records are dropped
+// and counted rather than stalling any simulation shard. Records from
+// different shards interleave in arrival order (shards keep independent
+// virtual clocks). This is the same stream the worker backend feeds over
+// the wire, so dashboards see one environment regardless of where shards
+// run. Close the subscription when done.
+func (e *Environment) Subscribe(buf int) *TraceSub {
+	if buf <= 0 {
+		buf = e.eventBuf
+	}
+	s := &TraceSub{env: e, ch: make(chan TraceRecord, buf)}
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	var cur []*TraceSub
+	if p := e.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*TraceSub, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	e.subs.Store(&next)
+	return s
+}
+
+// C returns the subscription's record channel. It is closed by Close.
+func (s *TraceSub) C() <-chan TraceRecord { return s.ch }
+
+// Dropped reports how many records were dropped because the channel was
+// full.
+func (s *TraceSub) Dropped() int64 { return s.dropped.Load() }
+
+// Close ends the subscription and closes its channel. Idempotent.
+func (s *TraceSub) Close() {
+	e := s.env
+	e.subMu.Lock()
+	if p := e.subs.Load(); p != nil {
+		next := make([]*TraceSub, 0, len(*p))
+		for _, o := range *p {
+			if o != s {
+				next = append(next, o)
+			}
+		}
+		e.subs.Store(&next)
+	}
+	e.subMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// push delivers one record without ever blocking a simulation shard.
+func (s *TraceSub) push(r trace.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- r:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
 // ShardRecorder exposes shard k's trace (that shard's jobs only, entity-
 // qualified), or nil when k is out of range. The same read contract as
-// Recorder applies.
+// Recorder applies. It works on every backend: the shard trace is
+// maintained on the environment side of the seam, fed by the backend's
+// event stream.
 func (e *Environment) ShardRecorder(k int) *Recorder {
 	if k < 0 || k >= len(e.shards) {
 		return nil
 	}
-	return e.shards[k].mgr.Recorder()
+	return e.shards[k].rec
 }
 
 // Resources returns the testbed resource names.
-func (e *Environment) Resources() []string { return e.shards[0].testbed.Names() }
+func (e *Environment) Resources() []string {
+	cp := make([]string, len(e.resources))
+	copy(cp, e.resources)
+	return cp
+}
 
 // Derive makes the execution-strategy decisions for a workload without
-// enacting them, against shard 0's bundle view. (Submit derives against the
-// bundle of the shard the job lands on.)
+// enacting them, against shard 0's bundle view — on every backend, so a
+// worker shard derives against its own live wait history. (Submit derives
+// against the bundle of the shard the job lands on.)
 func (e *Environment) Derive(w *Workload, cfg StrategyConfig) (Strategy, error) {
 	sh := e.shards[0]
 	var (
 		s   Strategy
 		err error
 	)
-	sh.sync(func() { s, err = core.Derive(w, sh.bndl, cfg, sh.rng) })
+	sh.sync(func() { s, err = sh.be.Derive(w, cfg) })
 	return s, err
 }
 
@@ -654,11 +1163,18 @@ func (e *Environment) RunWorkload(w *Workload, cfg StrategyConfig) (*Report, err
 
 // RunStaged executes a multistage workload one stage at a time, re-deriving
 // the strategy before each stage and feeding observed queue waits back into
-// the bundle (paper §V, workflow decomposition). Each stage runs as one job,
-// so staged executions coexist with other tenants on the shared testbed.
-// Every stage after the first is pinned to the first stage's shard, so the
-// wait-feedback loop sees the history it produced and per-shard determinism
-// covers the whole staged execution. It returns the aggregate report and the
+// the enacting shard's bundle (paper §V, workflow decomposition). Each
+// stage runs as one job, so staged executions coexist with other tenants on
+// the shared testbed.
+//
+// Stage placement follows the execution: each stage after the first is
+// pinned to its predecessor's shard, so the wait-feedback loop sees the
+// history it produced and per-shard determinism covers the staged
+// execution. On a work-stealing environment, a stage that migrated proves
+// its pinning no longer reflects the load — the next stage is then placed
+// on the least-loaded shard instead, and all earlier stage reports are
+// replayed into that shard's bundle first, keeping the feedback loop
+// coherent across the hop. It returns the aggregate report and the
 // per-stage reports.
 func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Report, error) {
 	if len(w.Stages) == 0 {
@@ -666,6 +1182,10 @@ func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Re
 	}
 	jcfg := JobConfig{StrategyConfig: cfg}
 	var stageReports []*Report
+	// fed[k] counts the stage reports already replayed into shard k's wait
+	// history, so a stage landing on a fresh shard catches that shard up
+	// before deriving.
+	fed := make([]int, len(e.shards))
 	for _, sub := range core.StageWorkloads(w) {
 		j, err := e.Submit(context.Background(), sub, jcfg)
 		if err != nil {
@@ -675,12 +1195,41 @@ func (e *Environment) RunStaged(w *Workload, cfg StrategyConfig) (*Report, []*Re
 		if err != nil {
 			return nil, stageReports, fmt.Errorf("aimes: stage %q: %w", sub.Stages[0], err)
 		}
-		sh := e.shards[j.Shard()]
-		sh.sync(func() { sh.mgr.FeedbackWaits(report) })
-		jcfg.Placement, jcfg.Shard = PlacePinned, j.Shard()
 		stageReports = append(stageReports, report)
+		e.feedStaged(j.Shard(), stageReports, fed)
+		if e.steal && j.Migrated() {
+			// The pinning (or initial placement) was stale enough that the
+			// stage moved: derive the next stage's placement from live load
+			// instead of following a proven-bad pin. MigrateAllow keeps the
+			// pin advisory — and keeps the chosen shard unsealed. The
+			// earlier reports are replayed before submission; in the rare
+			// case the re-placed stage still migrates off a window that
+			// filled in the interim, its landing shard is caught up on
+			// landing (the feedStaged above the branch), so later stages —
+			// not the hopped stage's own derivation — see the full history.
+			k := e.leastLoadedShard()
+			e.feedStaged(k, stageReports, fed)
+			jcfg.Placement, jcfg.Shard, jcfg.Migrate = PlacePinned, k, MigrateAllow
+		} else {
+			// Back on the follow-the-predecessor path, restore the default
+			// migrate policy: a pinned later stage seals its shard exactly
+			// as a directly pinned tenant would, instead of inheriting a
+			// sticky MigrateAllow from an earlier hop.
+			jcfg.Placement, jcfg.Shard, jcfg.Migrate = PlacePinned, j.Shard(), MigrateAuto
+		}
 	}
 	return core.MergeStaged(stageReports), stageReports, nil
+}
+
+// feedStaged replays the stage reports shard k has not yet absorbed into
+// its bundle's predictive wait history.
+func (e *Environment) feedStaged(k int, reports []*Report, fed []int) {
+	sh := e.shards[k]
+	for _, r := range reports[fed[k]:] {
+		report := r
+		sh.sync(func() { _ = sh.be.Feedback(report) })
+	}
+	fed[k] = len(reports)
 }
 
 // RunAdaptive enacts a strategy with runtime adaptation: if no pilot
@@ -697,10 +1246,14 @@ func (e *Environment) RunAdaptive(w *Workload, s Strategy, acfg AdaptiveConfig) 
 func (e *Environment) RunApp(app AppSpec, cfg StrategyConfig) (*Report, error) {
 	sh := e.shards[0]
 	var (
-		w   *Workload
-		err error
+		seed int64
+		err  error
 	)
-	sh.sync(func() { w, err = skeleton.Generate(app, sh.rng.Int63()) })
+	sh.sync(func() { seed, err = sh.be.AppSeed() })
+	if err != nil {
+		return nil, err
+	}
+	w, err := skeleton.Generate(app, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -716,12 +1269,20 @@ func (e *Environment) runJob(w *Workload, cfg JobConfig) (*Report, error) {
 	return j.Wait(context.Background())
 }
 
-// NewMonitor starts a bundle monitor on shard 0's engine and bundle. Note
-// that on a virtual-time shard time only advances while one of its jobs runs
-// and a client waits on it.
+// NewMonitor starts a bundle monitor on shard 0's engine and bundle (note
+// that on a virtual-time shard time only advances while one of its jobs
+// runs and a client waits on it). On the worker backend the monitor
+// attaches to the environment's static mirror — its engine never advances,
+// so threshold subscriptions never fire; monitor inside the worker
+// processes is future work.
 func (e *Environment) NewMonitor(interval time.Duration) *Monitor {
-	sh := e.shards[0]
-	return bundle.NewMonitor(sh.eng, sh.bndl, interval)
+	l := e.shards[0].local
+	if e.kind == BackendWorker {
+		if l = e.mirrorLocal(); l == nil {
+			return nil
+		}
+	}
+	return bundle.NewMonitor(l.Engine(), l.Bundle(), interval)
 }
 
 // Validate checks a workload/strategy-config pair against the environment
@@ -751,8 +1312,8 @@ func (e *Environment) Validate(w *Workload, cfg StrategyConfig) error {
 			return fmt.Errorf("aimes: fixed selection without resources")
 		}
 		for _, name := range cfg.FixedResources {
-			if e.shards[0].testbed.Site(name) == nil {
-				return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.Resources())
+			if !slices.Contains(e.resources, name) {
+				return fmt.Errorf("aimes: unknown resource %q (have %v)", name, e.resources)
 			}
 		}
 	default:

@@ -430,9 +430,10 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	}
 	// measure runs the submit-everything-then-wait-everywhere body b.N
 	// times against fresh environments and returns the throughput point.
-	// Environment construction (n full shard stacks) stays outside the
-	// timed region: the metric is job throughput, and the ~n-fold setup
-	// cost would otherwise dilute exactly the speedup the CI gate measures.
+	// Environment construction and teardown (n full shard stacks, or n
+	// worker processes on the worker backend) stay outside the timed
+	// region: the metric is job throughput, and the setup cost would
+	// otherwise dilute exactly the speedup the CI gate measures.
 	measure := func(b *testing.B, nShards int, mkEnv func(i int) (*aimes.Environment, error), jcfg aimes.JobConfig) sweepPoint {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -461,6 +462,9 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 				}(k, j)
 			}
 			wg.Wait()
+			b.StopTimer()
+			env.Close()
+			b.StartTimer()
 		}
 		b.StopTimer()
 		jobsPerSec := float64(nJobs*b.N) / b.Elapsed().Seconds()
@@ -513,6 +517,21 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		})
 	}
 
+	// Worker-backend point: the same balanced workload with every shard as
+	// a child OS process (workers=GOMAXPROCS), recorded for the perf
+	// trajectory but not yet gated — the per-step wire round trip needs a
+	// baseline history before a threshold is meaningful. The point only
+	// runs when the bench binary can self-host workers (TestMain arms it).
+	var workersPoint *sweepPoint
+	if maxprocs := runtime.GOMAXPROCS(0); maxprocs >= 2 {
+		b.Run(fmt.Sprintf("workers=%d", maxprocs), func(b *testing.B) {
+			p := measure(b, maxprocs, func(i int) (*aimes.Environment, error) {
+				return aimes.NewEnv(aimes.WithSeed(int64(8484+i)), aimes.WithWorkers(maxprocs))
+			}, aimes.JobConfig{StrategyConfig: cfg})
+			workersPoint = &p
+		})
+	}
+
 	// The headline is the best-throughput point, not the widest one: on some
 	// hardware an intermediate shard count wins.
 	base, peak := sweep[0], sweep[0]
@@ -528,6 +547,10 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 			skewRatio = skewed.JobsPerSecond / balanced.JobsPerSecond
 		}
 	}
+	workersJPS := 0.0
+	if workersPoint != nil {
+		workersJPS = workersPoint.JobsPerSecond
+	}
 	record := map[string]any{
 		"benchmark":              "BenchmarkConcurrentJobs",
 		"jobs":                   nJobs,
@@ -539,6 +562,10 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		"speedup_vs_one_shard":   peak.JobsPerSecond / base.JobsPerSecond,
 		"skewed_jobs_per_second": skewedJPS,
 		"skew_ratio":             skewRatio,
+		// Worker-backend trajectory point (not gated yet; see the
+		// workers=N sub-benchmark).
+		"workers":                 maxprocs,
+		"workers_jobs_per_second": workersJPS,
 	}
 	buf, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
@@ -552,14 +579,15 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	// record per run, so bench-check -drift can flag slow regressions that
 	// stay under the single-run threshold.
 	hist := map[string]any{
-		"time":            time.Now().UTC().Format(time.RFC3339),
-		"commit":          benchCommit(),
-		"gomaxprocs":      maxprocs,
-		"jobs":            nJobs,
-		"tasks_per_job":   nTasks,
-		"sweep":           sweep,
-		"jobs_per_second": peak.JobsPerSecond,
-		"skew_ratio":      skewRatio,
+		"time":                    time.Now().UTC().Format(time.RFC3339),
+		"commit":                  benchCommit(),
+		"gomaxprocs":              maxprocs,
+		"jobs":                    nJobs,
+		"tasks_per_job":           nTasks,
+		"sweep":                   sweep,
+		"jobs_per_second":         peak.JobsPerSecond,
+		"skew_ratio":              skewRatio,
+		"workers_jobs_per_second": workersJPS,
 	}
 	line, err := json.Marshal(hist)
 	if err != nil {

@@ -1,0 +1,34 @@
+// Command aimes-worker hosts one simulation shard as a child OS process of
+// a sharded aimes Environment built with WithWorkers / WithBackend
+// (BackendWorker). It speaks the length-prefixed JSON worker protocol on
+// stdin/stdout — the parent sends the shard configuration (seed, testbed,
+// middleware overheads) in the first frame, then drives enactment and
+// stepping; trace events and completion reports stream back on every
+// response. Logs go to stderr, which the parent passes through.
+//
+// It is never run by hand:
+//
+//	env, _ := aimes.NewEnv(aimes.WithWorkers(4),
+//		aimes.WithWorkerCommand("aimes-worker"))
+//
+// Programs can instead self-host their workers without this binary by
+// calling aimes.WorkerMain() at the top of main.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aimes/internal/backend"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		fmt.Fprintf(os.Stderr, "aimes-worker: takes no arguments; it is spawned by an aimes Environment and speaks a framed protocol on stdin/stdout\n")
+		os.Exit(2)
+	}
+	if err := backend.Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aimes-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,347 @@
+package backend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aimes/internal/core"
+	"aimes/internal/sim"
+	"aimes/internal/skeleton"
+)
+
+// Worker is the out-of-process execution backend: it spawns one shard as a
+// child OS process speaking the length-prefixed JSON protocol over stdio
+// and proxies the Backend interface across the pipe. Every response's
+// events are replayed into the sink before the originating call returns,
+// so the environment observes the same callback ordering as with Local.
+//
+// A dead child is surfaced, never waited on: an in-flight call fails when
+// the pipe breaks, every later call fails fast, and the death callback
+// passed at spawn time runs once so the environment can fail the shard's
+// jobs instead of hanging their waiters.
+type Worker struct {
+	shard int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   *bufio.Reader
+	sink  Sink
+
+	mu      sync.Mutex // serializes the wire (write+read); never held while dispatching events
+	nextID  uint64
+	dead    error
+	closing atomic.Bool
+	onDeath func(error)
+	deathWG sync.WaitGroup
+
+	now     atomic.Int64 // engine time at the last response, ns
+	drained atomic.Bool  // conservative Runnable cache: true only right after a drained Step
+}
+
+var (
+	_ Backend   = (*Worker)(nil)
+	_ Quiescent = (*Worker)(nil)
+)
+
+// SpawnWorker starts argv as a shard worker child, sends the init frame and
+// waits for its acknowledgment. The child inherits the parent's stderr (its
+// logs interleave with the parent's) and gets WorkerEnv set, so any binary
+// calling ServeIfWorker early in main — including test binaries and the
+// parent itself — can serve. onDeath, when non-nil, runs exactly once from
+// a watcher goroutine if the child exits without Close being called.
+func SpawnWorker(argv []string, cfg Config, sink Sink, onDeath func(error)) (*Worker, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("backend: empty worker command")
+	}
+	ic, err := configToWire(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("backend: starting worker %q: %w", argv[0], err)
+	}
+	w := &Worker{
+		shard:   cfg.Shard,
+		cmd:     cmd,
+		stdin:   stdin,
+		out:     bufio.NewReaderSize(stdout, 1<<16),
+		sink:    sink,
+		onDeath: onDeath,
+	}
+	w.deathWG.Add(1)
+	go w.watch()
+
+	if _, err := w.callTimeout(&request{Op: opInit, Init: ic}, spawnTimeout); err != nil {
+		w.closing.Store(true) // suppress the death callback for a spawn that never worked
+		_ = w.Kill()          // also unblocks a still-pending init read
+		return nil, fmt.Errorf("backend: initializing worker for shard %d: %w", cfg.Shard, err)
+	}
+	return w, nil
+}
+
+// watch reaps the child and converts an unexpected exit into the death
+// callback. An orderly Close sets closing first, so a clean shutdown never
+// fails jobs.
+func (w *Worker) watch() {
+	defer w.deathWG.Done()
+	err := w.cmd.Wait()
+	if w.closing.Load() {
+		return
+	}
+	cause := fmt.Errorf("worker process for shard %d exited unexpectedly (%v)", w.shard, exitReason(err))
+	w.mu.Lock()
+	if w.dead == nil {
+		w.dead = cause
+	}
+	w.mu.Unlock()
+	if w.onDeath != nil {
+		w.onDeath(cause)
+	}
+}
+
+// exitReason renders a Wait error readably ("exit status 1", "signal:
+// killed", or "exit status 0" for a silent quit).
+func exitReason(err error) string {
+	if err == nil {
+		return "exit status 0"
+	}
+	return err.Error()
+}
+
+// call performs one request/response exchange and then dispatches the
+// response's events into the sink — after releasing the wire lock, so a
+// sink callback may legally issue a nested call (e.g. a completion that
+// admits and enacts the next queued job). An operation-level error (Err in
+// the response) is returned alongside the response; a transport error marks
+// the worker dead.
+func (w *Worker) call(req *request) (*response, error) {
+	w.mu.Lock()
+	if w.dead != nil {
+		err := w.dead
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.nextID++
+	req.ID = w.nextID
+	var resp response
+	err := writeFrame(w.stdin, req)
+	if err == nil {
+		err = readFrame(w.out, &resp)
+	}
+	if err != nil {
+		if w.dead == nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				err = fmt.Errorf("worker process for shard %d closed its pipe", w.shard)
+			}
+			w.dead = fmt.Errorf("backend: %w", err)
+		}
+		err = w.dead
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.mu.Unlock()
+
+	if resp.ID != req.ID {
+		w.markDead(fmt.Errorf("backend: worker response %d for request %d (protocol desync)", resp.ID, req.ID))
+		w.mu.Lock()
+		err := w.dead
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.now.Store(resp.Now)
+	if req.Op == opStep {
+		// Record the drain verdict BEFORE dispatching events: a dispatched
+		// completion can admit and enact a queued job (a nested call), which
+		// schedules fresh worker events and stores drained=false — and that
+		// newer verdict must win over this response's. Step reads the cache,
+		// not the response, for exactly this reason.
+		w.drained.Store(resp.Drained)
+	}
+	for _, ev := range resp.Events {
+		switch ev.Kind {
+		case eventTrace:
+			if ev.Rec != nil {
+				w.sink.JobTrace(ev.Key, ev.NS, ev.Rec.Record())
+			}
+		case eventDone:
+			w.sink.JobDone(ev.Key, ev.Report)
+		}
+	}
+	if resp.Err != "" {
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// spawnTimeout bounds the init exchange: a worker command that is not
+// actually a worker (a wrapper script that hangs, a non-protocol binary
+// reading stdin) must fail the spawn, not hang NewEnv forever.
+const spawnTimeout = 30 * time.Second
+
+// closeTimeout bounds the orderly-close exchange before the kill fallback.
+const closeTimeout = 5 * time.Second
+
+// callTimeout is call with a deadline for exchanges against a child that
+// may not be speaking the protocol at all (init) or may be wedged (close).
+// On timeout the pending read stays blocked until the caller kills the
+// process, which unblocks the pipe and lets the call goroutine exit.
+func (w *Worker) callTimeout(req *request, d time.Duration) (*response, error) {
+	type result struct {
+		resp *response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := w.call(req)
+		ch <- result{resp, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-time.After(d):
+		return nil, fmt.Errorf("worker for shard %d did not answer within %v", w.shard, d)
+	}
+}
+
+// markDead records a fatal transport condition.
+func (w *Worker) markDead(cause error) {
+	w.mu.Lock()
+	if w.dead == nil {
+		w.dead = cause
+	}
+	w.mu.Unlock()
+}
+
+// Enact implements Backend.
+func (w *Worker) Enact(d *Descriptor) (*Enacted, error) {
+	w.drained.Store(false)
+	resp, err := w.call(&request{Op: opEnact, Desc: d})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Enacted == nil {
+		return nil, fmt.Errorf("backend: worker enacted without a result")
+	}
+	return resp.Enacted, nil
+}
+
+// Step implements Backend. The drain verdict comes from the cache rather
+// than the response: event dispatch inside the call can enact a freshly
+// admitted job (scheduling new worker events), and the response's verdict
+// predates that — returning it would let a pump judge a runnable engine
+// drained and fail a just-enacted job as incomplete.
+func (w *Worker) Step(max int) (int, bool, error) {
+	resp, err := w.call(&request{Op: opStep, Max: max})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Fired, w.drained.Load(), nil
+}
+
+// Cancel implements Backend.
+func (w *Worker) Cancel(key int, reason string) error {
+	w.drained.Store(false)
+	_, err := w.call(&request{Op: opCancel, Key: key, Reason: reason})
+	return err
+}
+
+// Incomplete implements Backend.
+func (w *Worker) Incomplete(key int) error {
+	resp, err := w.call(&request{Op: opIncomplete, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Diag == "" {
+		return fmt.Errorf("backend: worker reported no diagnostic for job %d", key)
+	}
+	return errors.New(resp.Diag)
+}
+
+// Feedback implements Backend.
+func (w *Worker) Feedback(r *core.Report) error {
+	_, err := w.call(&request{Op: opFeedback, Report: r})
+	return err
+}
+
+// Derive implements Backend.
+func (w *Worker) Derive(wl *skeleton.Workload, cfg core.StrategyConfig) (core.Strategy, error) {
+	resp, err := w.call(&request{Op: opDerive, Workload: wl, Config: &cfg})
+	if err != nil {
+		return core.Strategy{}, err
+	}
+	if resp.Strategy == nil {
+		return core.Strategy{}, fmt.Errorf("backend: worker derived without a strategy")
+	}
+	return *resp.Strategy, nil
+}
+
+// AppSeed implements Backend.
+func (w *Worker) AppSeed() (int64, error) {
+	resp, err := w.call(&request{Op: opAppSeed})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seed, nil
+}
+
+// Now implements Backend: the engine time at the last response. Exact, not
+// stale — a worker's engine only advances while serving a call.
+func (w *Worker) Now() (sim.Time, error) { return sim.Time(w.now.Load()), nil }
+
+// Steppable implements Backend (the worker protocol is virtual-time only).
+func (w *Worker) Steppable() bool { return true }
+
+// Runnable implements Quiescent from cached drain state: false only when
+// the last wire operation was a Step that drained the engine, so a false
+// verdict is always authoritative while true merely means "ask".
+func (w *Worker) Runnable() bool { return !w.drained.Load() }
+
+// Close implements Backend: an orderly shutdown (close frame, bounded
+// wait), then a kill if the child lingers. A transport failure here is not
+// an error — the worker being already dead was surfaced when it happened
+// (death callback, per-job errors), and the kill fallback guarantees the
+// process is reaped either way.
+func (w *Worker) Close() error {
+	w.closing.Store(true)
+	_, _ = w.callTimeout(&request{Op: opClose}, closeTimeout)
+	w.stdin.Close()
+	done := make(chan struct{})
+	go func() {
+		w.deathWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = w.cmd.Process.Kill()
+		<-done
+	}
+	return nil
+}
+
+// Kill terminates the worker process immediately — the chaos hook behind
+// Environment.KillWorker and the crash tests. The watcher then runs the
+// death callback exactly as for a spontaneous crash.
+func (w *Worker) Kill() error {
+	if w.cmd.Process == nil {
+		return fmt.Errorf("backend: worker for shard %d never started", w.shard)
+	}
+	return w.cmd.Process.Kill()
+}

@@ -1,0 +1,170 @@
+package backend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"aimes/internal/core"
+	"aimes/internal/trace"
+)
+
+// WorkerEnv is the environment variable the parent sets in every worker
+// child it spawns. Binaries that embed a worker entry point (see
+// ServeIfWorker and the public aimes.WorkerMain) dispatch on it, so a test
+// binary or an example program can act as its own worker pool without
+// shipping a separate executable.
+const WorkerEnv = "AIMES_WORKER_PROCESS"
+
+// bufSink collects a Local backend's outputs between frames; the serve loop
+// flushes it into every response so events ride back in order.
+type bufSink struct {
+	events []wireEvent
+}
+
+func (s *bufSink) JobTrace(key int, ns string, rec trace.Record) {
+	wr := trace.WireRecord(rec)
+	s.events = append(s.events, wireEvent{Kind: eventTrace, Key: key, NS: ns, Rec: &wr})
+}
+
+func (s *bufSink) JobDone(key int, report *core.Report) {
+	s.events = append(s.events, wireEvent{Kind: eventDone, Key: key, Report: report})
+}
+
+func (s *bufSink) flush() []wireEvent {
+	ev := s.events
+	s.events = nil
+	return ev
+}
+
+// Serve runs one shard worker over a request/response byte stream — the
+// child half of the worker backend. It hosts a Local backend built from the
+// init frame and executes operations strictly in arrival order (the engine
+// is single-threaded by design; serialization is the parent's job). It
+// returns nil on an orderly close or EOF (parent gone), an error on a
+// protocol violation.
+func Serve(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sink := &bufSink{}
+	var local *Local
+
+	for {
+		var req request
+		if err := readFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		resp := response{ID: req.ID}
+		switch req.Op {
+		case opInit:
+			if local != nil {
+				resp.Err = "backend: worker already initialized"
+				break
+			}
+			if req.Init == nil {
+				resp.Err = "backend: init frame without a config"
+				break
+			}
+			cfg, err := wireToConfig(req.Init)
+			if err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			if local, err = NewLocal(cfg, sink); err != nil {
+				resp.Err = err.Error()
+			}
+		case opClose:
+			resp.Events = sink.flush()
+			if err := writeFrame(bw, &resp); err != nil {
+				return err
+			}
+			return bw.Flush()
+		default:
+			if local == nil {
+				resp.Err = "backend: operation before init"
+				break
+			}
+			switch req.Op {
+			case opEnact:
+				if req.Desc == nil {
+					resp.Err = "backend: enact frame without a descriptor"
+					break
+				}
+				en, err := local.Enact(req.Desc)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Enacted = en
+				}
+			case opStep:
+				fired, drained, err := local.Step(req.Max)
+				resp.Fired, resp.Drained = fired, drained
+				if err != nil {
+					resp.Err = err.Error()
+				}
+			case opCancel:
+				if err := local.Cancel(req.Key, req.Reason); err != nil {
+					resp.Err = err.Error()
+				}
+			case opIncomplete:
+				if err := local.Incomplete(req.Key); err != nil {
+					resp.Diag = err.Error()
+				}
+			case opFeedback:
+				if req.Report == nil {
+					resp.Err = "backend: feedback frame without a report"
+					break
+				}
+				if err := local.Feedback(req.Report); err != nil {
+					resp.Err = err.Error()
+				}
+			case opDerive:
+				if req.Workload == nil || req.Config == nil {
+					resp.Err = "backend: derive frame without a workload and strategy config"
+					break
+				}
+				s, err := local.Derive(req.Workload, *req.Config)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Strategy = &s
+				}
+			case opAppSeed:
+				resp.Seed, _ = local.AppSeed()
+			default:
+				resp.Err = fmt.Sprintf("backend: unknown operation %q", req.Op)
+			}
+		}
+		if local != nil {
+			now, _ := local.Now()
+			resp.Now = int64(now)
+		}
+		resp.Events = sink.flush()
+		if err := writeFrame(bw, &resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeIfWorker checks WorkerEnv and, when set, serves the worker protocol
+// on stdin/stdout and exits the process with the serve verdict. Programs
+// that want to self-host their workers call it (via aimes.WorkerMain) at
+// the top of main, before any other work.
+func ServeIfWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aimes-worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aimes/internal/sim"
+)
+
+func TestWireRecordRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Time: 0, Entity: "em", State: "ENACTING", Detail: "late binding"},
+		{Time: sim.Time(1234567890), Entity: "pilot.stampede.s0-j1-1", State: "ACTIVE"},
+		{Time: sim.Forever, Entity: "unit.t0001", State: "DONE", Detail: "with, comma"},
+	}
+	for _, rec := range cases {
+		buf, err := json.Marshal(WireRecord(rec))
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", rec, err)
+		}
+		var back WireRecord
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", buf, err)
+		}
+		if back.Record() != rec {
+			t.Fatalf("round trip %+v → %s → %+v", rec, buf, back.Record())
+		}
+	}
+}
+
+func TestWireRecordCompactsEmptyDetail(t *testing.T) {
+	buf, err := json.Marshal(WireRecord{Time: 5, Entity: "em", State: "DONE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[5,"em","DONE"]`
+	if string(buf) != want {
+		t.Fatalf("compact form %s, want %s", buf, want)
+	}
+}
+
+func TestWireRecordRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{`{}`, `[1,"e"]`, `[1,"e","s","d","x"]`, `["t","e","s"]`} {
+		var r WireRecord
+		if err := json.Unmarshal([]byte(bad), &r); err == nil {
+			t.Fatalf("malformed wire record %s decoded without error", bad)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aimes/internal/backend"
 	"aimes/internal/core"
 	"aimes/internal/shard"
 	"aimes/internal/trace"
@@ -35,7 +36,8 @@ const (
 	// have failed; see Report.UnitsFailed).
 	JobDone
 	// JobFailed is a job that cannot complete (e.g. the engine drained with
-	// the workload incomplete); Err holds the cause.
+	// the workload incomplete, or the job's worker process died); Err holds
+	// the cause.
 	JobFailed
 	// JobCanceled is a job ended by Cancel; the report accounts the
 	// canceled units.
@@ -161,7 +163,6 @@ type Job struct {
 	cfg        JobConfig
 	cost       int64 // expected work, milli-core-seconds
 	migratable bool
-	rec        *trace.Recorder
 
 	// sh is the shard currently responsible for the job. It changes at most
 	// once, during a queued job's migration handoff; after enactment it is
@@ -178,7 +179,7 @@ type Job struct {
 	// never the other way around.
 	mu           sync.Mutex
 	ns           string
-	exec         *core.Execution
+	strategy     Strategy
 	enacted      bool
 	handoff      bool // popped from its origin's queue, not yet landed
 	hopped       bool // migrated once already; jobs move at most one hop
@@ -274,13 +275,11 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 		cfg:          cfg,
 		cost:         cost,
 		migratable:   migratable,
-		rec:          trace.NewRecorder(),
 		events:       make(chan Event, buf),
 		done:         make(chan struct{}),
 		migratedFrom: -1,
 	}
 	j.sh.Store(sh)
-	j.rec.Observe(j.publish)
 
 	var reterr error
 	sh.sync(func() {
@@ -295,7 +294,8 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 			// and will normally retry.)
 			e.stealer.Seal(sh.id)
 		}
-		if e.steal && (sh.running >= e.window || len(sh.queue) > 0) {
+		sh.jobs[j.id] = j
+		if e.steal && (sh.running >= e.windowFor(sh) || len(sh.queue) > 0) {
 			sh.queue = append(sh.queue, j)
 			j.state.Store(int32(JobQueued))
 			if j.migratable {
@@ -303,7 +303,9 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 			}
 			return
 		}
-		reterr = e.enactLocked(sh, j)
+		if reterr = e.enactLocked(sh, j); reterr != nil {
+			delete(sh.jobs, j.id)
+		}
 	})
 	if reterr != nil {
 		sh.pendingCost.Add(-cost)
@@ -328,74 +330,47 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	return j, nil
 }
 
-// enactLocked derives (unless pre-derived) and enacts a job on sh, assigning
-// its shard-local namespace from sh's sequence and its randomness from sh's
-// streams — for a migrated job this is the re-derivation half of the
-// migration-safe handoff, recorded as an "em" MIGRATED trace event. It runs
-// under sh's engine serialization with sh current for j.
+// enactLocked enacts a job on sh through the shard's backend, which derives
+// the strategy (unless pre-derived), assigns the shard-local namespace from
+// its own sequence and its randomness from its own streams — for a migrated
+// job this is the re-derivation half of the migration-safe handoff,
+// recorded as an "em" MIGRATED trace event. It runs under sh's engine
+// serialization with sh current for j and j registered in sh.jobs (trace
+// records flow through the sink during the Enact call itself).
 func (e *Environment) enactLocked(sh *shardEnv, j *Job) error {
-	var s Strategy
-	if j.cfg.Strategy != nil {
-		s = *j.cfg.Strategy
-	} else {
-		var err error
-		s, err = core.Derive(j.w, sh.bndl, j.cfg.StrategyConfig, sh.rng)
-		if err != nil {
-			return err
-		}
-	}
-
-	ns := shard.Namespace(sh.id, sh.jobSeq+1)
-	// Tee every record into the shard's trace (which in turn tees into the
-	// environment aggregate, see NewEnv). Entities whose IDs carry no
-	// namespace of their own ("em", "unit.<name>") are scoped to the job, so
-	// same-named units of different tenants stay distinguishable; pilot IDs
-	// are namespaced at the source.
-	shardRec := sh.mgr.Recorder()
-	j.rec.Observe(func(r trace.Record) {
-		shardRec.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
-	})
 	j.mu.Lock()
-	j.ns = ns
 	from := j.migratedFrom
 	j.mu.Unlock()
-	if from >= 0 {
-		j.rec.Record(sh.eng.Now(), "em", trace.StateMigrated, fmt.Sprintf("from s%d", from))
-	}
-
-	opts := core.ExecOptions{Recorder: j.rec, Namespace: ns}
-	var (
-		exec *core.Execution
-		err  error
-	)
-	if j.cfg.Adaptive != nil {
-		exec, err = sh.mgr.ExecuteAdaptiveWith(j.w, s, *j.cfg.Adaptive, opts)
-	} else {
-		// The prepared→enacted crossing is explicit here: right up to Enact
-		// the job held no engine state, which is why queued jobs can migrate.
-		exec, err = sh.mgr.PrepareWith(j.w, s, opts)
-		if err == nil {
-			err = exec.Enact()
-		}
-	}
+	res, err := sh.be.Enact(&backend.Descriptor{
+		Key:          j.id,
+		MigratedFrom: from,
+		Descriptor: core.Descriptor{
+			Workload: j.w,
+			Strategy: j.cfg.Strategy,
+			Config:   j.cfg.StrategyConfig,
+			Adaptive: j.cfg.Adaptive,
+		},
+	})
 	if err != nil {
 		return err
 	}
-	sh.jobSeq++
 	sh.running++
 	j.mu.Lock()
-	j.exec = exec
+	j.ns = res.Namespace
+	j.strategy = res.Strategy
 	j.enacted = true
 	j.handoff = false
 	reason := j.cancelReason
 	j.mu.Unlock()
 	j.state.Store(int32(JobRunning))
-	exec.OnComplete(func(r *Report) { j.complete(r, nil) })
 	if reason != "" {
 		// A cancel raced the admission (requested while the job was queued
 		// or mid-handoff): honor it now that there is engine state to tear
-		// down. We already hold the engine serialization.
-		exec.Cancel(reason)
+		// down. We already hold the engine serialization; the backend
+		// delivers the completion through the sink before Cancel returns.
+		if cerr := sh.be.Cancel(j.id, reason); cerr != nil {
+			j.complete(nil, fmt.Errorf("aimes: shard s%d: canceling during admission: %w", sh.id, cerr))
+		}
 	}
 	return nil
 }
@@ -409,7 +384,7 @@ func (e *Environment) admitNextLocked(sh *shardEnv) {
 		return
 	}
 	sh.admitting = true
-	for sh.running < e.window && len(sh.queue) > 0 {
+	for sh.running < e.windowFor(sh) && len(sh.queue) > 0 {
 		j := sh.queue[0]
 		sh.queue[0] = nil
 		sh.queue = sh.queue[1:]
@@ -457,10 +432,13 @@ func (e *Environment) migrationCandidate(origin *shardEnv, cost int64) bool {
 // popped from its origin's queue under the origin's engine lock, then landed
 // on the destination under the destination's — no two shard locks are ever
 // held together, and the destination's load is reserved under the submission
-// lock so concurrent decisions see each other. The destination re-derives
-// namespace and randomness when it enacts (see enactLocked); sealed shards
-// are never chosen. forced relaxes the load-balance margin for liveness
-// (a job queued behind a wedged admission window must move or fail).
+// lock so concurrent decisions see each other. The destination's backend
+// re-derives namespace and randomness when it enacts (see enactLocked); the
+// job itself crosses shards as a pure descriptor, which is why the handoff
+// routes through any backend — in-process or worker — unchanged. Sealed
+// shards are never chosen. forced relaxes the load-balance margin for
+// liveness (a job queued behind a wedged admission window must move or
+// fail).
 func (e *Environment) migrateJob(j *Job, forced bool) bool {
 	if !e.steal || !j.migratable {
 		return false
@@ -512,6 +490,7 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 		}
 		e.stealer.NoteQueued(origin.id, -1)
 		origin.pendingCost.Add(-j.cost)
+		delete(origin.jobs, j.id)
 		j.mu.Lock()
 		j.handoff = true
 		j.hopped = true
@@ -527,6 +506,7 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 	// Phase 2: land on the destination.
 	dest.sync(func() {
 		j.sh.Store(dest)
+		dest.jobs[j.id] = j
 		j.mu.Lock()
 		reason := j.cancelReason
 		j.mu.Unlock()
@@ -536,7 +516,7 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 			j.complete(core.CanceledReport(j.w), nil)
 			return
 		}
-		if dest.running < e.window && len(dest.queue) == 0 {
+		if dest.running < e.windowFor(dest) && len(dest.queue) == 0 {
 			if err := e.enactLocked(dest, j); err != nil {
 				j.complete(nil, err)
 			}
@@ -613,8 +593,8 @@ func (e *Environment) helpPump(own *shardEnv) {
 	if !sh.mu.TryLock() {
 		return
 	}
-	fired, drained := sh.stepBatch(nil)
-	if drained && sh.running == 0 && len(sh.queue) > 0 {
+	fired, drained, err := sh.stepBatch()
+	if err == nil && drained && sh.running == 0 && len(sh.queue) > 0 {
 		e.admitNextLocked(sh)
 	}
 	sh.mu.Unlock()
@@ -631,6 +611,14 @@ func (j *Job) ID() int { return j.id }
 // the job. It is stable once the job is enacted; a queued job on a
 // work-stealing environment may migrate once.
 func (j *Job) Shard() int { return j.sh.Load().id }
+
+// Migrated reports whether the job was handed to another shard by
+// cross-shard work stealing before enactment.
+func (j *Job) Migrated() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.migratedFrom >= 0
+}
 
 // Namespace returns the job's shard-qualified namespace, "s<shard>-j<seq>"
 // with a shard-local sequence number, assigned at enactment ("" while the
@@ -652,10 +640,7 @@ func (j *Job) State() JobState { return JobState(j.state.Load()) }
 func (j *Job) Strategy() Strategy {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.exec == nil {
-		return Strategy{}
-	}
-	return j.exec.Strategy()
+	return j.strategy
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -725,7 +710,7 @@ func (j *Job) Wait(ctx context.Context) (*Report, error) {
 		default:
 		}
 		sh := j.sh.Load()
-		if sh.stepper == nil {
+		if !sh.steppable {
 			select {
 			case <-j.done:
 				j.mu.Lock()
@@ -810,7 +795,7 @@ func (j *Job) cancelLocked(sh *shardEnv, reason string) bool {
 		j.cancelReason = reason
 	}
 	owner := j.sh.Load()
-	enacted, handoff, exec := j.enacted, j.handoff, j.exec
+	enacted, handoff := j.enacted, j.handoff
 	j.mu.Unlock()
 	if owner != sh {
 		// The job landed elsewhere after the caller captured its shard; the
@@ -820,9 +805,12 @@ func (j *Job) cancelLocked(sh *shardEnv, reason string) bool {
 	}
 	switch {
 	case enacted:
-		// Canceling the last unit fires the execution's completion callback,
-		// which completes the job with the canceled-units report.
-		exec.Cancel(reason)
+		// Canceling the last unit fires the backend's completion event,
+		// which the sink turns into the job's canceled-units report before
+		// Cancel returns.
+		if err := sh.be.Cancel(j.id, reason); err != nil && !j.finished() {
+			j.complete(nil, fmt.Errorf("aimes: shard s%d: canceling: %w", sh.id, err))
+		}
 		return true
 	case handoff:
 		// Popped from its origin, not yet landed: the migrator observes the
@@ -865,7 +853,7 @@ func (j *Job) finished() bool {
 
 // publish streams one trace record to the job's event channel, dropping
 // rather than blocking when the consumer lags. It runs under the engine's
-// callback serialization.
+// callback serialization (the backend sink).
 func (j *Job) publish(r trace.Record) {
 	if j.eventsClosed.Load() {
 		return
@@ -880,10 +868,10 @@ func (j *Job) publish(r trace.Record) {
 }
 
 // complete records the terminal outcome exactly once and releases waiters
-// and event consumers. Every completion path — engine callbacks, pump
-// drains, cancels, handoff landings — runs under the current shard's engine
-// serialization, which is what makes the admission bookkeeping (running,
-// queue) safe here.
+// and event consumers. Every completion path — backend completion events,
+// pump drains, cancels, handoff landings, worker deaths — runs under the
+// current shard's engine serialization, which is what makes the admission
+// bookkeeping (running, queue, jobs) safe here.
 func (j *Job) complete(r *Report, err error) {
 	j.mu.Lock()
 	if j.completed {
@@ -903,11 +891,13 @@ func (j *Job) complete(r *Report, err error) {
 	enacted := j.enacted
 	j.mu.Unlock()
 	sh := j.sh.Load()
+	delete(sh.jobs, j.id)
 	sh.pendingCost.Add(-j.cost)
 	if st == JobDone {
 		// Completed work feeds the observed-throughput side of weighted
 		// placement; canceled and failed jobs tell us nothing about rate.
 		sh.doneCost.Add(j.cost)
+		sh.doneJobs.Add(1)
 	}
 	if enacted {
 		sh.running--
@@ -920,12 +910,13 @@ func (j *Job) complete(r *Report, err error) {
 
 // pumpBatch bounds how many events one Wait iteration fires while holding
 // the shard lock, so concurrent waiters, submitters and cancelers of the
-// same shard interleave promptly.
+// same shard interleave promptly. On the worker backend it is also the
+// wire-batch granularity: one Step round trip per batch.
 const pumpBatch = 64
 
 // pump advances virtual time on behalf of a waiting job: whoever waits,
 // steps — and only this job's shard, so waiters on different shards fire
-// events truly in parallel. All access to one shard's engine runs under its
+// events truly in parallel. All access to one shard's backend runs under its
 // mutex; concurrent waiters of the same shard take turns firing batches, and
 // any waiter's step may complete any tenant's job on that shard. It reports
 // whether the job is stalled: the engine drained with the (migratable) job
@@ -952,9 +943,25 @@ func (sh *shardEnv) pump(j *Job) (stalled bool) {
 	// The non-blocking query half of the pump seam: a quiescent engine is
 	// already drained-but-blocked, so the waiter reaches the verdict below —
 	// admit, migrate, or fail — without going through a no-op step batch.
-	drained := sh.quiescer != nil && !sh.quiescer.Runnable()
+	// (The worker backend answers from cached drain state: authoritative
+	// when false, "ask" when true.)
+	drained := sh.quiet != nil && !sh.quiet.Runnable()
 	if !drained {
-		_, drained = sh.stepBatch(j)
+		var err error
+		_, drained, err = sh.stepBatch()
+		if err != nil {
+			// The backend is gone (a worker crash mid-step): fail this job
+			// with the cause — unlinking it from the admission queue first
+			// if it never enacted, so the dead shard's stealable-work count
+			// doesn't stay positive forever. The death handler fails the
+			// shard's other jobs; their waiters observe it on their own
+			// next pump.
+			if JobState(j.state.Load()) == JobQueued && sh.removeQueued(j) && j.migratable {
+				e.stealer.NoteQueued(sh.id, -1)
+			}
+			j.complete(nil, fmt.Errorf("aimes: shard s%d: %w", sh.id, err))
+			return false
+		}
 	}
 	if !drained || j.finished() {
 		return false
@@ -982,33 +989,23 @@ func (sh *shardEnv) pump(j *Job) (stalled bool) {
 		return true
 	}
 	// Nothing scheduled can make this enacted job progress: fail it with the
-	// diagnostic state summary. Other live jobs on the shard fail the same
-	// way when their waiters observe the drain; new submissions refill the
-	// queue first.
-	j.complete(nil, j.exec.IncompleteError())
+	// backend's diagnostic state summary. Other live jobs on the shard fail
+	// the same way when their waiters observe the drain; new submissions
+	// refill the queue first.
+	j.complete(nil, sh.be.Incomplete(j.id))
 	return false
 }
 
-// stepBatch fires up to pumpBatch events on the shard's engine, reporting
+// stepBatch fires up to pumpBatch events on the shard's backend, reporting
 // how many fired and whether the event queue drained, and accounts the wall
-// time spent firing toward the shard's observed-throughput signal.
-// Batch-capable engines fire in one call; otherwise events fire one at a
-// time, stopping early once j (when non-nil) completes.
-func (sh *shardEnv) stepBatch(j *Job) (fired int, drained bool) {
+// time spent firing toward the shard's observed-throughput signal (for a
+// worker shard that includes the wire round trip — honest accounting, since
+// that is the real drain rate the environment gets from it).
+func (sh *shardEnv) stepBatch() (fired int, drained bool, err error) {
 	start := time.Now()
-	defer func() { sh.busyNanos.Add(time.Since(start).Nanoseconds()) }()
-	if sh.batch != nil {
-		fired = sh.batch.StepN(pumpBatch)
-		return fired, fired < pumpBatch
-	}
-	for fired < pumpBatch {
-		if j != nil && j.finished() {
-			return fired, false
-		}
-		if !sh.stepper.Step() {
-			return fired, true
-		}
-		fired++
-	}
-	return fired, false
+	defer func() {
+		sh.busyNanos.Add(time.Since(start).Nanoseconds())
+		sh.eventsFired.Add(int64(fired))
+	}()
+	return sh.be.Step(pumpBatch)
 }
