@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,12 +30,15 @@ bench:
 	@cat BENCH_jobs.json
 
 # Perf-regression gate: rerun the concurrent-jobs shard sweep (including the
-# skewed-load stealing point) and compare against the committed
-# BENCH_baseline.json (fails on a >25% jobs/s drop at any shard count both
-# recorded, or a skewed-load ratio under 0.70 on multi-core machines).
+# skewed-load stealing point and the worker-backend codec points) and compare
+# against the committed BENCH_baseline.json (fails on a >25% jobs/s drop at
+# any shard count both recorded, a skewed-load ratio under 0.70 on multi-core
+# machines, worker-backend throughput under 0.35 of the local peak, a binary
+# codec win under 1.2x the JSON workers, or over 5000 parent-side allocations
+# per job on the wire hot path).
 bench-check:
 	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
-	$(GO) run ./cmd/bench-check
+	$(GO) run ./cmd/bench-check -min-worker-ratio 0.35 -min-codec-speedup 1.2 -max-worker-allocs 5000
 
 # Refresh the committed baseline from a fresh sweep on this machine.
 bench-baseline:
@@ -74,4 +77,10 @@ worker-smoke:
 	timeout 120 $(GO) run ./examples/workers
 	$(GO) test -race -count=1 -run 'TestBackendParity|TestWorker' .
 
-ci: lint race bench-check scenarios worker-smoke
+# TCP-transport smoke: host shards with a real `aimes-worker serve` process
+# on a loopback port and run the parity matrix and crash containment against
+# it (see scripts/worker_tcp_smoke.sh).
+worker-tcp-smoke:
+	./scripts/worker_tcp_smoke.sh
+
+ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke

@@ -324,6 +324,11 @@ type shardEnv struct {
 	running   int
 	admitting bool // admission-loop reentrancy guard (completions re-enter)
 
+	// batch is the shard's pump granularity: pumpBatch for local shards,
+	// workerPumpBatch for worker shards (see newShard). Set once at
+	// construction, read without synchronization.
+	batch int
+
 	// Adaptive admission window telemetry (see Environment.windowFor).
 	lastWindow atomic.Int32
 	peakWindow atomic.Int32
@@ -385,16 +390,20 @@ func (sh *shardEnv) JobDone(key int, report *core.Report) {
 type Option func(*envOptions)
 
 type envOptions struct {
-	seed      int64
-	sites     []SiteConfig
-	pilot     *PilotConfig
-	realTime  bool
-	eventBuf  int
-	shards    int
-	shardsSet bool
-	steal     bool
-	kind      BackendKind
-	workerCmd []string
+	seed         int64
+	sites        []SiteConfig
+	pilot        *PilotConfig
+	realTime     bool
+	eventBuf     int
+	shards       int
+	shardsSet    bool
+	steal        bool
+	kind         BackendKind
+	workerCmd    []string
+	workerAddr   string
+	workerSecret string
+	wireCodec    string
+	maxFrame     int
 }
 
 // WithSeed sets the seed driving all randomness; environments with equal
@@ -535,6 +544,57 @@ func WithWorkerCommand(path string, args ...string) Option {
 	return func(o *envOptions) { o.workerCmd = append([]string{path}, args...) }
 }
 
+// WithWorkerAddr runs worker shards against a TCP worker host instead of
+// spawning child processes: every shard dials addr — an `aimes-worker serve
+// --listen` host, possibly on another machine — and runs its own
+// authenticated connection there. Implies WithBackend(BackendWorker);
+// combine with WithShards to size the environment.
+//
+// The connection authenticates with a shared secret (WithWorkerSecret or
+// $AIMES_WORKER_SECRET; NewEnv fails without one) but is NOT encrypted —
+// no TLS yet — so keep it on trusted networks. See the README's wire
+// protocol section.
+func WithWorkerAddr(addr string) Option {
+	return func(o *envOptions) {
+		o.workerAddr = addr
+		o.kind = BackendWorker
+	}
+}
+
+// WithWorkerSecret sets the shared secret for the TCP worker handshake,
+// overriding $AIMES_WORKER_SECRET. It has no effect on process workers
+// (stdio pipes need no authentication).
+func WithWorkerSecret(secret string) Option {
+	return func(o *envOptions) { o.workerSecret = secret }
+}
+
+// Wire codecs for WithWireCodec.
+const (
+	// CodecJSON pins the field-named JSON payload encoding — debuggable
+	// with a pipe tee, interoperable with every worker ever shipped.
+	CodecJSON = backend.CodecJSON
+	// CodecBinary demands the compact binary payload encoding; NewEnv fails
+	// against a worker that cannot speak it.
+	CodecBinary = backend.CodecBinary
+)
+
+// WithWireCodec selects the worker wire codec. The default (empty string)
+// negotiates: the binary codec when the worker offers it, JSON otherwise —
+// so new parents interoperate with old workers. Pass CodecJSON to pin the
+// debuggable encoding or CodecBinary to fail fast instead of silently
+// falling back. No effect on the local backend.
+func WithWireCodec(name string) Option {
+	return func(o *envOptions) { o.wireCodec = name }
+}
+
+// WithMaxFrame overrides the worker protocol's per-frame size limit in
+// bytes (default backend.DefaultMaxFrame, 256 MiB). Both ends of a TCP
+// connection must agree: a host started with a different --max-frame will
+// reject frames this side considers legal. No effect on the local backend.
+func WithMaxFrame(n int) Option {
+	return func(o *envOptions) { o.maxFrame = n }
+}
+
 // NewEnv builds an execution environment from functional options:
 //
 //	env, err := aimes.NewEnv(aimes.WithSeed(42), aimes.WithSites(sites...))
@@ -562,6 +622,11 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	if o.steal && o.realTime {
 		return nil, fmt.Errorf("aimes: WithWorkStealing with WithRealTime: work stealing migrates queued jobs between shard engines pumped in virtual time; the wall-clock engine runs a single self-advancing shard")
 	}
+	switch o.wireCodec {
+	case "", CodecJSON, CodecBinary:
+	default:
+		return nil, fmt.Errorf("aimes: unknown wire codec %q (want CodecJSON, CodecBinary, or empty for negotiated)", o.wireCodec)
+	}
 	if o.kind == BackendWorker {
 		if o.realTime {
 			return nil, fmt.Errorf("aimes: the worker backend is virtual-time by construction (the parent drives each worker's engine over the wire); WithRealTime requires BackendLocal")
@@ -569,7 +634,15 @@ func NewEnv(opts ...Option) (*Environment, error) {
 		if os.Getenv(backend.WorkerEnv) != "" {
 			return nil, fmt.Errorf("aimes: a worker process may not spawn workers of its own (call aimes.WorkerMain at the top of main so the child serves instead of re-running the program)")
 		}
-		if o.workerCmd == nil {
+		switch {
+		case o.workerAddr != "":
+			if o.workerSecret == "" {
+				o.workerSecret = os.Getenv("AIMES_WORKER_SECRET")
+			}
+			if o.workerSecret == "" {
+				return nil, fmt.Errorf("aimes: WithWorkerAddr(%q) needs a shared secret: pass WithWorkerSecret or set $AIMES_WORKER_SECRET to the value the worker host serves with", o.workerAddr)
+			}
+		case o.workerCmd == nil:
 			argv, err := resolveWorkerCommand()
 			if err != nil {
 				return nil, err
@@ -664,7 +737,14 @@ func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 	}
 	switch o.kind {
 	case BackendWorker:
-		w, err := backend.SpawnWorker(o.workerCmd, cfg, sh, func(cause error) {
+		var tr backend.Transport
+		if o.workerAddr != "" {
+			tr = &backend.TCPTransport{Addr: o.workerAddr, Secret: o.workerSecret}
+		} else {
+			tr = &backend.ProcessTransport{Argv: o.workerCmd}
+		}
+		opt := backend.WorkerOptions{Codec: o.wireCodec, MaxFrame: o.maxFrame}
+		w, err := backend.Connect(tr, opt, cfg, sh, func(cause error) {
 			e.shardDied(sh, cause)
 		})
 		if err != nil {
@@ -672,6 +752,13 @@ func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 		}
 		sh.be = w
 		sh.steppable = true
+		// A worker shard pumps in much larger batches than a local one:
+		// every batch is a wire round trip (encode, two pipe or socket
+		// crossings, decode), so the batch size is what amortizes protocol
+		// overhead. The cost — coarser-grained admission and waiter
+		// interleaving — is already the documented stealing caveat for this
+		// backend.
+		sh.batch = workerPumpBatch
 	default:
 		l, err := backend.NewLocal(cfg, sh)
 		if err != nil {
@@ -681,6 +768,7 @@ func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 		sh.local = l
 		sh.syncer = l.EngineSyncer()
 		sh.steppable = l.Steppable()
+		sh.batch = pumpBatch
 	}
 	if q, ok := sh.be.(backend.Quiescent); ok && sh.steppable {
 		sh.quiet = q
@@ -827,7 +915,7 @@ const maxAdmitWindow = 64
 // windowFor returns the shard's current admission window. Without work
 // stealing it is unbounded (enact at Submit). With stealing, the window
 // adapts to the shard's observed drain rate and queue depth: the rate
-// observed per admission opportunity is doneJobs×pumpBatch/eventsFired —
+// observed per admission opportunity is doneJobs×sh.batch/eventsFired —
 // how many jobs one pump batch's worth of engine events retires on average
 // — and the window keeps roughly two batches' worth of drainable jobs
 // enacted. Heavy tenants burn far more than a batch of events per job and
@@ -851,7 +939,7 @@ func (e *Environment) windowFor(sh *shardEnv) int {
 	w := admitWindow
 	fired, jobs := sh.eventsFired.Load(), sh.doneJobs.Load()
 	if fired > 0 && jobs > 0 {
-		target := int(math.Ceil(2 * float64(jobs) * pumpBatch / float64(fired)))
+		target := int(math.Ceil(2 * float64(jobs) * float64(sh.batch) / float64(fired)))
 		if present := sh.running + len(sh.queue); target > present {
 			target = present // queue depth bounds the window: no admission slack beyond real work
 		}

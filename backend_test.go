@@ -8,6 +8,7 @@ package aimes_test
 
 import (
 	"context"
+	"net"
 	"os"
 	"reflect"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"aimes"
+	"aimes/internal/backend"
 )
 
 // TestMain lets this test binary serve as its own worker pool: a child
@@ -91,30 +93,136 @@ func runParityScenario(t *testing.T, opts ...aimes.Option) []jobOutcome {
 	return out
 }
 
+// tcpWorkerHost returns the address and secret of a TCP worker host for the
+// parity tests: the external host named by $AIMES_TEST_WORKER_ADDR (the CI
+// tcp-smoke job points this at a real `aimes-worker serve` process), or an
+// in-process listener otherwise — the shard stacks it hosts are the same
+// Local stacks either way.
+func tcpWorkerHost(t *testing.T) (addr, secret string) {
+	t.Helper()
+	if addr := os.Getenv("AIMES_TEST_WORKER_ADDR"); addr != "" {
+		return addr, os.Getenv("AIMES_TEST_WORKER_SECRET")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret = "parity-test-secret"
+	go backend.ServeListener(ln, backend.ServeConfig{Secret: secret})
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String(), secret
+}
+
 // TestBackendParity is the acceptance matrix for the backend seam: the same
 // seeded, pinned workload mix must produce identical per-job reports —
 // strategies, TTC decompositions, pilot waits, allocation accounting — on
-// the in-process backend and on out-of-process worker shards.
+// the in-process backend and on worker shards over every transport × codec
+// combination.
 func TestBackendParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker processes")
 	}
 	local := runParityScenario(t, aimes.WithShards(3))
-	worker := runParityScenario(t, aimes.WithWorkers(3))
-	if len(local) != len(worker) {
-		t.Fatalf("local ran %d jobs, worker %d", len(local), len(worker))
+	addr, secret := tcpWorkerHost(t)
+	combos := []struct {
+		name string
+		opts []aimes.Option
+	}{
+		{"stdio/json", []aimes.Option{aimes.WithWorkers(3), aimes.WithWireCodec(aimes.CodecJSON)}},
+		{"stdio/binary", []aimes.Option{aimes.WithWorkers(3), aimes.WithWireCodec(aimes.CodecBinary)}},
+		{"tcp/json", []aimes.Option{aimes.WithShards(3), aimes.WithWorkerAddr(addr),
+			aimes.WithWorkerSecret(secret), aimes.WithWireCodec(aimes.CodecJSON)}},
+		{"tcp/binary", []aimes.Option{aimes.WithShards(3), aimes.WithWorkerAddr(addr),
+			aimes.WithWorkerSecret(secret), aimes.WithWireCodec(aimes.CodecBinary)}},
 	}
-	for i := range local {
-		if local[i].Namespace != worker[i].Namespace {
-			t.Errorf("job %d: namespace %q (local) vs %q (worker)", i+1, local[i].Namespace, worker[i].Namespace)
+	for _, combo := range combos {
+		t.Run(combo.name, func(t *testing.T) {
+			worker := runParityScenario(t, combo.opts...)
+			if len(local) != len(worker) {
+				t.Fatalf("local ran %d jobs, worker %d", len(local), len(worker))
+			}
+			for i := range local {
+				if local[i].Namespace != worker[i].Namespace {
+					t.Errorf("job %d: namespace %q (local) vs %q (worker)", i+1, local[i].Namespace, worker[i].Namespace)
+				}
+				if local[i].Shard != worker[i].Shard {
+					t.Errorf("job %d: shard %d (local) vs %d (worker)", i+1, local[i].Shard, worker[i].Shard)
+				}
+				if !reflect.DeepEqual(local[i].Report, worker[i].Report) {
+					t.Errorf("job %d: reports diverge across backends:\nlocal:  %+v\nworker: %+v",
+						i+1, *local[i].Report, *worker[i].Report)
+				}
+			}
+		})
+	}
+}
+
+// TestWireCodecValidation covers the negotiation's refusal paths: an
+// unknown codec name is rejected at NewEnv before anything spawns, and on
+// the wire an init requesting a codec the worker lacks is answered with a
+// descriptive error (see TestHostRejectsUnknownCodec in internal/backend
+// for the host side).
+func TestWireCodecValidation(t *testing.T) {
+	if _, err := aimes.NewEnv(aimes.WithShards(1), aimes.WithWireCodec("yaml")); err == nil {
+		t.Fatal("unknown wire codec accepted")
+	} else if !strings.Contains(err.Error(), "yaml") {
+		t.Fatalf("unknown-codec error does not name the codec: %v", err)
+	}
+	// Secretless TCP config must fail fast and say what to set.
+	t.Setenv("AIMES_WORKER_SECRET", "")
+	if _, err := aimes.NewEnv(aimes.WithShards(1), aimes.WithWorkerAddr("127.0.0.1:1")); err == nil {
+		t.Fatal("TCP worker config without a secret accepted")
+	} else if !strings.Contains(err.Error(), "AIMES_WORKER_SECRET") {
+		t.Fatalf("secretless error not actionable: %v", err)
+	}
+}
+
+// TestTCPWorkerCrashFailsOnlyItsShard is the crash-containment contract on
+// the TCP transport: a severed connection (no process watcher, death is
+// in-band) still fails exactly the dead shard's jobs, descriptively.
+func TestTCPWorkerCrashFailsOnlyItsShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a TCP worker host")
+	}
+	addr, secret := tcpWorkerHost(t)
+	env, err := aimes.NewEnv(aimes.WithSeed(99), aimes.WithShards(2),
+		aimes.WithWorkerAddr(addr), aimes.WithWorkerSecret(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	cfg := aimes.StrategyConfig{Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2}
+	submit := func(shard, seed int) *aimes.Job {
+		w, err := aimes.GenerateWorkload(aimes.BagOfTasks(16, aimes.UniformDuration()), int64(seed))
+		if err != nil {
+			t.Fatal(err)
 		}
-		if local[i].Shard != worker[i].Shard {
-			t.Errorf("job %d: shard %d (local) vs %d (worker)", i+1, local[i].Shard, worker[i].Shard)
+		j, err := env.Submit(context.Background(), w, aimes.JobConfig{
+			StrategyConfig: cfg, Placement: aimes.PlacePinned, Shard: shard,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(local[i].Report, worker[i].Report) {
-			t.Errorf("job %d: reports diverge across backends:\nlocal:  %+v\nworker: %+v",
-				i+1, *local[i].Report, *worker[i].Report)
-		}
+		return j
+	}
+	doomed := submit(0, 11)
+	healthy := submit(1, 22)
+	if err := env.KillWorker(0); err != nil {
+		t.Fatalf("KillWorker: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := doomed.Wait(ctx); err == nil {
+		t.Fatal("job on the killed shard completed without error")
+	} else if !strings.Contains(err.Error(), "s0") {
+		t.Fatalf("crash error does not name the shard: %v", err)
+	}
+	r, err := healthy.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job on the surviving shard: %v", err)
+	}
+	if r.UnitsDone != 16 {
+		t.Fatalf("surviving job finished %d units, want 16", r.UnitsDone)
 	}
 }
 

@@ -427,6 +427,12 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		Iterations     int     `json:"iterations"`
 		ElapsedSeconds float64 `json:"elapsed_seconds"`
 		JobsPerSecond  float64 `json:"jobs_per_second"`
+		// AllocsPerJob is the parent-process heap allocations per completed
+		// job across the timed region (submit through last Wait). On the
+		// worker backend the children are separate processes, so this
+		// isolates exactly the client half of the wire hot path — encode,
+		// write, read, decode, event dispatch.
+		AllocsPerJob float64 `json:"allocs_per_job,omitempty"`
 	}
 	// measure runs the submit-everything-then-wait-everywhere body b.N
 	// times against fresh environments and returns the throughput point.
@@ -435,12 +441,15 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	// region: the metric is job throughput, and the setup cost would
 	// otherwise dilute exactly the speedup the CI gate measures.
 	measure := func(b *testing.B, nShards int, mkEnv func(i int) (*aimes.Environment, error), jcfg aimes.JobConfig) sweepPoint {
+		var mallocs uint64
+		var ms0, ms1 runtime.MemStats
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			env, err := mkEnv(i)
 			if err != nil {
 				b.Fatal(err)
 			}
+			runtime.ReadMemStats(&ms0)
 			b.StartTimer()
 			jobs := make([]*aimes.Job, nJobs)
 			for k, w := range workloads {
@@ -463,17 +472,22 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 			}
 			wg.Wait()
 			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			mallocs += ms1.Mallocs - ms0.Mallocs
 			env.Close()
 			b.StartTimer()
 		}
 		b.StopTimer()
 		jobsPerSec := float64(nJobs*b.N) / b.Elapsed().Seconds()
+		allocsPerJob := float64(mallocs) / float64(nJobs*b.N)
 		b.ReportMetric(jobsPerSec, "jobs/s")
+		b.ReportMetric(allocsPerJob, "allocs/job")
 		return sweepPoint{
 			Shards:         nShards,
 			Iterations:     b.N,
 			ElapsedSeconds: b.Elapsed().Seconds(),
 			JobsPerSecond:  jobsPerSec,
+			AllocsPerJob:   allocsPerJob,
 		}
 	}
 
@@ -517,20 +531,32 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		})
 	}
 
-	// Worker-backend point: the same balanced workload with every shard as
-	// a child OS process (workers=GOMAXPROCS), recorded for the perf
-	// trajectory but not yet gated — the per-step wire round trip needs a
-	// baseline history before a threshold is meaningful. The point only
-	// runs when the bench binary can self-host workers (TestMain arms it).
-	var workersPoint *sweepPoint
-	if maxprocs := runtime.GOMAXPROCS(0); maxprocs >= 2 {
-		b.Run(fmt.Sprintf("workers=%d", maxprocs), func(b *testing.B) {
-			p := measure(b, maxprocs, func(i int) (*aimes.Environment, error) {
-				return aimes.NewEnv(aimes.WithSeed(int64(8484+i)), aimes.WithWorkers(maxprocs))
-			}, aimes.JobConfig{StrategyConfig: cfg})
-			workersPoint = &p
-		})
+	// Worker-backend points: the same balanced workload with every shard as
+	// a child OS process, once per wire codec. The binary point is the
+	// gated one (cmd/bench-check -min-worker-ratio compares it against the
+	// local peak); the JSON point exists to keep the codec speedup honest
+	// in the trajectory record. Unlike the shard sweep these always run —
+	// even on one hardware thread the wire cost is real and worth tracking
+	// — so the worker count has a floor of two. The bench binary
+	// self-hosts the workers (TestMain arms it).
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers < 2 {
+		nWorkers = 2
 	}
+	var workersPoint, workersJSONPoint *sweepPoint
+	b.Run(fmt.Sprintf("workers=%d/codec=binary", nWorkers), func(b *testing.B) {
+		p := measure(b, nWorkers, func(i int) (*aimes.Environment, error) {
+			return aimes.NewEnv(aimes.WithSeed(int64(8484+i)), aimes.WithWorkers(nWorkers))
+		}, aimes.JobConfig{StrategyConfig: cfg})
+		workersPoint = &p
+	})
+	b.Run(fmt.Sprintf("workers=%d/codec=json", nWorkers), func(b *testing.B) {
+		p := measure(b, nWorkers, func(i int) (*aimes.Environment, error) {
+			return aimes.NewEnv(aimes.WithSeed(int64(8484+i)), aimes.WithWorkers(nWorkers),
+				aimes.WithWireCodec(aimes.CodecJSON))
+		}, aimes.JobConfig{StrategyConfig: cfg})
+		workersJSONPoint = &p
+	})
 
 	// The headline is the best-throughput point, not the widest one: on some
 	// hardware an intermediate shard count wins.
@@ -547,9 +573,17 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 			skewRatio = skewed.JobsPerSecond / balanced.JobsPerSecond
 		}
 	}
-	workersJPS := 0.0
+	workersJPS, workersJSONJPS, workerAllocs := 0.0, 0.0, 0.0
 	if workersPoint != nil {
 		workersJPS = workersPoint.JobsPerSecond
+		workerAllocs = workersPoint.AllocsPerJob
+	}
+	if workersJSONPoint != nil {
+		workersJSONJPS = workersJSONPoint.JobsPerSecond
+	}
+	codecSpeedup := 0.0
+	if workersJSONJPS > 0 {
+		codecSpeedup = workersJPS / workersJSONJPS
 	}
 	record := map[string]any{
 		"benchmark":              "BenchmarkConcurrentJobs",
@@ -562,10 +596,15 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		"speedup_vs_one_shard":   peak.JobsPerSecond / base.JobsPerSecond,
 		"skewed_jobs_per_second": skewedJPS,
 		"skew_ratio":             skewRatio,
-		// Worker-backend trajectory point (not gated yet; see the
-		// workers=N sub-benchmark).
-		"workers":                 maxprocs,
-		"workers_jobs_per_second": workersJPS,
+		// Worker-backend trajectory points: binary is the default codec
+		// (gated via bench-check -min-worker-ratio against the local peak),
+		// json is the negotiation fallback, and their ratio is the codec's
+		// measured win on this hardware.
+		"workers":                      nWorkers,
+		"workers_jobs_per_second":      workersJPS,
+		"workers_json_jobs_per_second": workersJSONJPS,
+		"worker_codec_speedup":         codecSpeedup,
+		"worker_allocs_per_job":        workerAllocs,
 	}
 	buf, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
@@ -579,15 +618,17 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	// record per run, so bench-check -drift can flag slow regressions that
 	// stay under the single-run threshold.
 	hist := map[string]any{
-		"time":                    time.Now().UTC().Format(time.RFC3339),
-		"commit":                  benchCommit(),
-		"gomaxprocs":              maxprocs,
-		"jobs":                    nJobs,
-		"tasks_per_job":           nTasks,
-		"sweep":                   sweep,
-		"jobs_per_second":         peak.JobsPerSecond,
-		"skew_ratio":              skewRatio,
-		"workers_jobs_per_second": workersJPS,
+		"time":                         time.Now().UTC().Format(time.RFC3339),
+		"commit":                       benchCommit(),
+		"gomaxprocs":                   maxprocs,
+		"jobs":                         nJobs,
+		"tasks_per_job":                nTasks,
+		"sweep":                        sweep,
+		"jobs_per_second":              peak.JobsPerSecond,
+		"skew_ratio":                   skewRatio,
+		"workers_jobs_per_second":      workersJPS,
+		"workers_json_jobs_per_second": workersJSONJPS,
+		"worker_allocs_per_job":        workerAllocs,
 	}
 	line, err := json.Marshal(hist)
 	if err != nil {

@@ -1,34 +1,82 @@
-// Command aimes-worker hosts one simulation shard as a child OS process of
-// a sharded aimes Environment built with WithWorkers / WithBackend
-// (BackendWorker). It speaks the length-prefixed JSON worker protocol on
-// stdin/stdout — the parent sends the shard configuration (seed, testbed,
-// middleware overheads) in the first frame, then drives enactment and
-// stepping; trace events and completion reports stream back on every
-// response. Logs go to stderr, which the parent passes through.
+// Command aimes-worker hosts simulation shards for a sharded aimes
+// Environment built with WithWorkers / WithWorkerAddr.
 //
-// It is never run by hand:
+// With no arguments it serves one shard on stdin/stdout as a child OS
+// process of the parent environment — the stdio transport. The parent
+// sends the shard configuration (seed, testbed, middleware overheads) in
+// the first frame, then drives enactment and stepping; trace events and
+// completion reports stream back on every response, in the JSON or binary
+// codec negotiated at init. Logs go to stderr, which the parent passes
+// through. This mode is never run by hand:
 //
 //	env, _ := aimes.NewEnv(aimes.WithWorkers(4),
 //		aimes.WithWorkerCommand("aimes-worker"))
 //
-// Programs can instead self-host their workers without this binary by
+// With the serve subcommand it hosts shards over TCP instead, one
+// independent shard per authenticated connection — the first step toward a
+// multi-host fleet:
+//
+//	AIMES_WORKER_SECRET=$(openssl rand -hex 16) aimes-worker serve --listen :9464
+//
+// and on the client side:
+//
+//	env, _ := aimes.NewEnv(aimes.WithShards(4),
+//		aimes.WithWorkerAddr("fleet-3:9464"),
+//		aimes.WithWorkerSecret(os.Getenv("AIMES_WORKER_SECRET")))
+//
+// Connections authenticate with the shared secret (HMAC challenge/response;
+// the secret never crosses the wire) but are not encrypted — no TLS yet —
+// so serve on trusted networks only.
+//
+// Programs can instead self-host stdio workers without this binary by
 // calling aimes.WorkerMain() at the top of main.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"aimes/internal/backend"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
 	if len(os.Args) > 1 {
-		fmt.Fprintf(os.Stderr, "aimes-worker: takes no arguments; it is spawned by an aimes Environment and speaks a framed protocol on stdin/stdout\n")
+		fmt.Fprintf(os.Stderr, "aimes-worker: unknown arguments %q: run with no arguments (stdio worker, spawned by an aimes Environment) or `aimes-worker serve --listen ADDR`\n", os.Args[1:])
 		os.Exit(2)
 	}
 	if err := backend.Serve(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "aimes-worker: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("aimes-worker serve", flag.ExitOnError)
+	listen := fs.String("listen", "", "TCP address to listen on, e.g. :9464 or 127.0.0.1:9464")
+	secret := fs.String("secret", os.Getenv("AIMES_WORKER_SECRET"), "shared handshake secret (default $AIMES_WORKER_SECRET)")
+	maxFrame := fs.Int("max-frame", 0, "per-frame size limit in bytes (0 = protocol default; must match the clients')")
+	quiet := fs.Bool("quiet", false, "suppress per-connection log lines")
+	_ = fs.Parse(args)
+	if *listen == "" {
+		fmt.Fprintln(os.Stderr, "aimes-worker serve: --listen is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	err := backend.ListenAndServe(*listen, backend.ServeConfig{
+		Secret:   *secret,
+		MaxFrame: *maxFrame,
+		Logf:     logf,
+	})
+	fmt.Fprintf(os.Stderr, "aimes-worker serve: %v\n", err)
+	os.Exit(1)
 }

@@ -2,6 +2,8 @@ package backend
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"io"
 	"reflect"
 	"strings"
@@ -15,32 +17,75 @@ import (
 	"aimes/internal/trace"
 )
 
+// writeFrame and readFrame are the tests' own hand-rolled JSON framing — an
+// independent implementation of the wire's bootstrap encoding, so the serve
+// loop is exercised by a peer that shares no session-layer code with it.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
 	in := request{ID: 42, Op: opStep, Max: 64}
-	if err := writeFrame(&buf, &in); err != nil {
+	buf := make([]byte, 4, 256)
+	buf, err := jsonCodec{}.AppendRequest(buf, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finishFrame(buf, DefaultMaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrameInto(bytes.NewReader(buf), nil, DefaultMaxFrame)
+	if err != nil {
 		t.Fatal(err)
 	}
 	var out request
-	if err := readFrame(&buf, &out); err != nil {
+	if err := (jsonCodec{}).DecodeRequest(payload, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip %+v → %+v", in, out)
 	}
 	// A truncated stream surfaces as an error, not a hang or a zero value.
-	buf.Reset()
-	if err := writeFrame(&buf, &in); err != nil {
-		t.Fatal(err)
-	}
-	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
-	if err := readFrame(trunc, &out); err == nil {
+	if _, err := readFrameInto(bytes.NewReader(buf[:len(buf)-3]), nil, DefaultMaxFrame); err == nil {
 		t.Fatal("truncated frame decoded without error")
 	}
 	// A corrupt length prefix is caught before allocation.
 	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
-	if err := readFrame(bytes.NewReader(huge), &out); err == nil || err == io.EOF {
+	if _, err := readFrameInto(bytes.NewReader(huge), nil, DefaultMaxFrame); err == nil || err == io.EOF {
 		t.Fatalf("oversized frame length: got %v", err)
+	}
+	// The limit is configurable at transport construction; a frame over a
+	// small limit fails on both the write and the read side.
+	if err := finishFrame(buf, 8); err == nil {
+		t.Fatal("oversized frame encoded under a small limit")
+	}
+	if err := finishFrame(buf, DefaultMaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrameInto(bytes.NewReader(buf), nil, 8); err == nil {
+		t.Fatal("oversized frame read under a small limit")
 	}
 }
 

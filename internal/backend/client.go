@@ -1,13 +1,8 @@
 package backend
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"os/exec"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,29 +11,21 @@ import (
 	"aimes/internal/skeleton"
 )
 
-// Worker is the out-of-process execution backend: it spawns one shard as a
-// child OS process speaking the length-prefixed JSON protocol over stdio
-// and proxies the Backend interface across the pipe. Every response's
-// events are replayed into the sink before the originating call returns,
-// so the environment observes the same callback ordering as with Local.
+// Worker is the out-of-process execution backend: one shard hosted behind a
+// Transport (a spawned child process over stdio, or a TCP worker host on
+// another machine), with the Backend interface proxied across a framed,
+// codec-negotiated session. Every response's events are replayed into the
+// sink before the originating call returns, so the environment observes the
+// same callback ordering as with Local.
 //
-// A dead child is surfaced, never waited on: an in-flight call fails when
-// the pipe breaks, every later call fails fast, and the death callback
-// passed at spawn time runs once so the environment can fail the shard's
-// jobs instead of hanging their waiters.
+// A dead worker is surfaced, never waited on: an in-flight call fails when
+// the connection breaks, every later call fails fast, and the death
+// callback passed at connect time runs once so the environment can fail the
+// shard's jobs instead of hanging their waiters.
 type Worker struct {
 	shard int
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	out   *bufio.Reader
+	s     *session
 	sink  Sink
-
-	mu      sync.Mutex // serializes the wire (write+read); never held while dispatching events
-	nextID  uint64
-	dead    error
-	closing atomic.Bool
-	onDeath func(error)
-	deathWG sync.WaitGroup
 
 	now     atomic.Int64 // engine time at the last response, ns
 	drained atomic.Bool  // conservative Runnable cache: true only right after a drained Step
@@ -49,120 +36,76 @@ var (
 	_ Quiescent = (*Worker)(nil)
 )
 
-// SpawnWorker starts argv as a shard worker child, sends the init frame and
-// waits for its acknowledgment. The child inherits the parent's stderr (its
-// logs interleave with the parent's) and gets WorkerEnv set, so any binary
-// calling ServeIfWorker early in main — including test binaries and the
-// parent itself — can serve. onDeath, when non-nil, runs exactly once from
-// a watcher goroutine if the child exits without Close being called.
+// WorkerOptions tunes the session Connect builds; the zero value is the
+// production default.
+type WorkerOptions struct {
+	// Codec selects the wire codec: CodecJSON pins JSON, CodecBinary
+	// demands binary (Connect fails against a worker that cannot speak it),
+	// and "" negotiates binary with a silent JSON fallback.
+	Codec string
+	// MaxFrame overrides the per-frame size limit (0 means
+	// DefaultMaxFrame). Both sides of a connection must agree.
+	MaxFrame int
+}
+
+// SpawnWorker starts argv as a shard worker child over stdio with default
+// options — the original worker-backend entry point, kept as the
+// convenience form of Connect.
 func SpawnWorker(argv []string, cfg Config, sink Sink, onDeath func(error)) (*Worker, error) {
-	if len(argv) == 0 {
-		return nil, fmt.Errorf("backend: empty worker command")
+	return Connect(&ProcessTransport{Argv: argv}, WorkerOptions{}, cfg, sink, onDeath)
+}
+
+// Connect dials a shard worker over tr, performs the init exchange
+// (including codec negotiation, which always happens in JSON), and returns
+// the connected backend. onDeath, when non-nil, runs exactly once if the
+// worker dies before Close — whether the transport observes it out of band
+// (a child process exiting) or a call finds the connection broken.
+func Connect(tr Transport, opt WorkerOptions, cfg Config, sink Sink, onDeath func(error)) (*Worker, error) {
+	if !validCodecChoice(opt.Codec) {
+		_, err := newCodec(opt.Codec)
+		return nil, err
 	}
 	ic, err := configToWire(cfg)
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
+	s := newSession(cfg.Shard, opt.MaxFrame, onDeath)
+	conn, err := tr.Dial(cfg.Shard, s.peerDied)
 	if err != nil {
 		return nil, err
 	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("backend: starting worker %q: %w", argv[0], err)
-	}
-	w := &Worker{
-		shard:   cfg.Shard,
-		cmd:     cmd,
-		stdin:   stdin,
-		out:     bufio.NewReaderSize(stdout, 1<<16),
-		sink:    sink,
-		onDeath: onDeath,
-	}
-	w.deathWG.Add(1)
-	go w.watch()
+	s.attach(conn)
+	w := &Worker{shard: cfg.Shard, s: s, sink: sink}
 
-	if _, err := w.callTimeout(&request{Op: opInit, Init: ic}, spawnTimeout); err != nil {
-		w.closing.Store(true) // suppress the death callback for a spawn that never worked
-		_ = w.Kill()          // also unblocks a still-pending init read
+	// Ask for binary unless the caller pinned JSON; the worker echoes what
+	// it accepted, and an echo we did not ask for is ignored.
+	if opt.Codec == "" || opt.Codec == CodecBinary {
+		ic.Codec = CodecBinary
+	}
+	resp, err := w.callTimeout(&request{Op: opInit, Init: ic}, spawnTimeout)
+	if err == nil && opt.Codec == CodecBinary && resp.Codec != CodecBinary {
+		err = fmt.Errorf("worker did not accept the %q wire codec (echoed %q)", CodecBinary, resp.Codec)
+	}
+	if err != nil {
+		s.closing.Store(true) // suppress the death callback for a spawn that never worked
+		_ = conn.Kill()       // also unblocks a still-pending init read
 		return nil, fmt.Errorf("backend: initializing worker for shard %d: %w", cfg.Shard, err)
+	}
+	if ic.Codec != "" && resp.Codec == CodecBinary {
+		s.use(newBinaryCodec())
 	}
 	return w, nil
 }
 
-// watch reaps the child and converts an unexpected exit into the death
-// callback. An orderly Close sets closing first, so a clean shutdown never
-// fails jobs.
-func (w *Worker) watch() {
-	defer w.deathWG.Done()
-	err := w.cmd.Wait()
-	if w.closing.Load() {
-		return
-	}
-	cause := fmt.Errorf("worker process for shard %d exited unexpectedly (%v)", w.shard, exitReason(err))
-	w.mu.Lock()
-	if w.dead == nil {
-		w.dead = cause
-	}
-	w.mu.Unlock()
-	if w.onDeath != nil {
-		w.onDeath(cause)
-	}
-}
-
-// exitReason renders a Wait error readably ("exit status 1", "signal:
-// killed", or "exit status 0" for a silent quit).
-func exitReason(err error) string {
-	if err == nil {
-		return "exit status 0"
-	}
-	return err.Error()
-}
-
 // call performs one request/response exchange and then dispatches the
-// response's events into the sink — after releasing the wire lock, so a
-// sink callback may legally issue a nested call (e.g. a completion that
-// admits and enacts the next queued job). An operation-level error (Err in
-// the response) is returned alongside the response; a transport error marks
-// the worker dead.
+// response's events into the sink — after the session releases the wire
+// lock, so a sink callback may legally issue a nested call (e.g. a
+// completion that admits and enacts the next queued job). An
+// operation-level error (Err in the response) is returned alongside the
+// response; a transport error has already marked the session dead.
 func (w *Worker) call(req *request) (*response, error) {
-	w.mu.Lock()
-	if w.dead != nil {
-		err := w.dead
-		w.mu.Unlock()
-		return nil, err
-	}
-	w.nextID++
-	req.ID = w.nextID
 	var resp response
-	err := writeFrame(w.stdin, req)
-	if err == nil {
-		err = readFrame(w.out, &resp)
-	}
-	if err != nil {
-		if w.dead == nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				err = fmt.Errorf("worker process for shard %d closed its pipe", w.shard)
-			}
-			w.dead = fmt.Errorf("backend: %w", err)
-		}
-		err = w.dead
-		w.mu.Unlock()
-		return nil, err
-	}
-	w.mu.Unlock()
-
-	if resp.ID != req.ID {
-		w.markDead(fmt.Errorf("backend: worker response %d for request %d (protocol desync)", resp.ID, req.ID))
-		w.mu.Lock()
-		err := w.dead
-		w.mu.Unlock()
+	if err := w.s.exchange(req, &resp); err != nil {
 		return nil, err
 	}
 	w.now.Store(resp.Now)
@@ -174,7 +117,8 @@ func (w *Worker) call(req *request) (*response, error) {
 		// not the response, for exactly this reason.
 		w.drained.Store(resp.Drained)
 	}
-	for _, ev := range resp.Events {
+	for i := range resp.Events {
+		ev := &resp.Events[i]
 		switch ev.Kind {
 		case eventTrace:
 			if ev.Rec != nil {
@@ -198,10 +142,10 @@ const spawnTimeout = 30 * time.Second
 // closeTimeout bounds the orderly-close exchange before the kill fallback.
 const closeTimeout = 5 * time.Second
 
-// callTimeout is call with a deadline for exchanges against a child that
+// callTimeout is call with a deadline for exchanges against a worker that
 // may not be speaking the protocol at all (init) or may be wedged (close).
 // On timeout the pending read stays blocked until the caller kills the
-// process, which unblocks the pipe and lets the call goroutine exit.
+// connection, which unblocks it and lets the call goroutine exit.
 func (w *Worker) callTimeout(req *request, d time.Duration) (*response, error) {
 	type result struct {
 		resp *response
@@ -218,15 +162,6 @@ func (w *Worker) callTimeout(req *request, d time.Duration) (*response, error) {
 	case <-time.After(d):
 		return nil, fmt.Errorf("worker for shard %d did not answer within %v", w.shard, d)
 	}
-}
-
-// markDead records a fatal transport condition.
-func (w *Worker) markDead(cause error) {
-	w.mu.Lock()
-	if w.dead == nil {
-		w.dead = cause
-	}
-	w.mu.Unlock()
 }
 
 // Enact implements Backend.
@@ -314,34 +249,21 @@ func (w *Worker) Steppable() bool { return true }
 func (w *Worker) Runnable() bool { return !w.drained.Load() }
 
 // Close implements Backend: an orderly shutdown (close frame, bounded
-// wait), then a kill if the child lingers. A transport failure here is not
-// an error — the worker being already dead was surfaced when it happened
-// (death callback, per-job errors), and the kill fallback guarantees the
-// process is reaped either way.
+// wait), then the transport's teardown — which for a child process reaps
+// it, killing a lingerer. A transport failure here is not an error — the
+// worker being already dead was surfaced when it happened (death callback,
+// per-job errors), and the teardown guarantees the peer is reclaimed
+// either way.
 func (w *Worker) Close() error {
-	w.closing.Store(true)
+	w.s.closing.Store(true)
 	_, _ = w.callTimeout(&request{Op: opClose}, closeTimeout)
-	w.stdin.Close()
-	done := make(chan struct{})
-	go func() {
-		w.deathWG.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(5 * time.Second):
-		_ = w.cmd.Process.Kill()
-		<-done
-	}
-	return nil
+	_ = w.s.conn.CloseWrite()
+	return w.s.conn.Close()
 }
 
-// Kill terminates the worker process immediately — the chaos hook behind
-// Environment.KillWorker and the crash tests. The watcher then runs the
-// death callback exactly as for a spontaneous crash.
-func (w *Worker) Kill() error {
-	if w.cmd.Process == nil {
-		return fmt.Errorf("backend: worker for shard %d never started", w.shard)
-	}
-	return w.cmd.Process.Kill()
-}
+// Kill severs the worker's connection immediately — the chaos hook behind
+// Environment.KillWorker and the crash tests. A killed child process trips
+// the transport watcher and the death callback runs exactly as for a
+// spontaneous crash; a killed TCP connection surfaces on the shard's next
+// wire operation, which notifies the same callback in-band.
+func (w *Worker) Kill() error { return w.s.conn.Kill() }

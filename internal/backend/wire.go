@@ -2,7 +2,6 @@ package backend
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -15,55 +14,75 @@ import (
 	"aimes/internal/trace"
 )
 
-// The worker wire protocol: length-prefixed JSON frames over a byte stream
-// (the child's stdin/stdout). Each frame is a 4-byte big-endian payload
-// length followed by one JSON document; requests and responses alternate
-// strictly (the worker is single-threaded by design — its engine is), and
-// every response carries the ordered events (trace records, completions)
-// the operation produced, so the client can replay them into its sink
-// before the call returns, preserving the local backend's callback order.
+// The worker wire protocol, layered (bottom up):
+//
+//   - Transport (transport.go): a byte stream to the worker — child-process
+//     stdio pipes, or TCP with a shared-secret handshake.
+//   - Frames (this file): 4-byte big-endian payload length + one payload.
+//   - Codec (codec.go): the payload encoding — field-named JSON or the
+//     compact binary form — negotiated at init, JSON until then.
+//   - Session (session.go): request/response correlation, ordered event
+//     replay, crash detection.
+//
+// Requests and responses alternate strictly (the worker is single-threaded
+// by design — its engine is), and every response carries the ordered events
+// (trace records, completions) the operation produced, so the client can
+// replay them into its sink before the call returns, preserving the local
+// backend's callback order.
 
-// maxFrame bounds a single frame; a 2048-task workload descriptor is ~1 MB,
-// so this leaves two orders of magnitude of headroom while still catching a
-// corrupt length prefix before it turns into a multi-gigabyte allocation.
-const maxFrame = 256 << 20
+// DefaultMaxFrame bounds a single frame when the transport does not set its
+// own limit. Sizing: the largest legitimate frames are an enact request
+// carrying a workload descriptor (a 2048-task workload is ~1 MB — workloads
+// ride as JSON blobs in both codecs) and a Step response whose events carry
+// a full wire batch of trace records (a 512-event batch is well under
+// 100 KB in either codec). 256 MiB leaves two-plus orders of magnitude of
+// headroom over both while still catching a corrupt or hostile length
+// prefix before it turns into a multi-gigabyte allocation.
+const DefaultMaxFrame = 256 << 20
 
-// writeFrame writes one length-prefixed JSON frame.
-func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("backend: encoding frame: %w", err)
+// frameLimit resolves a configured frame-size limit (0 means the default).
+func frameLimit(limit int) int {
+	if limit <= 0 {
+		return DefaultMaxFrame
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("backend: frame of %d bytes exceeds the %d-byte limit", len(body), maxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
+	return limit
 }
 
-// readFrame reads one length-prefixed JSON frame into v.
-func readFrame(r io.Reader, v any) error {
+// finishFrame patches the 4-byte length header reserved at the front of buf
+// and enforces the frame-size limit. Callers build a frame by appending the
+// encoded payload after a 4-byte placeholder (buf = buf[:4] then codec
+// appends), so the header patch makes the whole frame one contiguous slice —
+// and one Write, which matters on TCP (one segment, no tinygram split)
+// and keeps the stdio hot path at a single syscall.
+func finishFrame(buf []byte, limit int) error {
+	body := len(buf) - 4
+	if body > limit {
+		return fmt.Errorf("backend: frame of %d bytes exceeds the %d-byte limit", body, limit)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
+	return nil
+}
+
+// readFrameInto reads one length-prefixed frame payload, reusing buf's
+// storage when it is large enough. It returns the payload slice (valid until
+// the next call with the same buf).
+func readFrameInto(r io.Reader, buf []byte, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return buf[:0], err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("backend: frame length %d exceeds the %d-byte limit", n, maxFrame)
+	if n > uint32(limit) {
+		return buf[:0], fmt.Errorf("backend: frame length %d exceeds the %d-byte limit", n, limit)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return err
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
 	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("backend: decoding frame: %w", err)
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf[:0], err
 	}
-	return nil
+	return buf, nil
 }
 
 // Request operations.
@@ -124,6 +143,11 @@ type response struct {
 	Strategy *core.Strategy `json:"strategy,omitempty"`
 	Diag     string         `json:"diag,omitempty"`
 	Now      int64          `json:"now,omitempty"` // engine time after the op, ns
+
+	// Codec echoes the wire codec the worker accepted for every frame after
+	// the init exchange. Only the init response carries it; absent means the
+	// worker predates negotiation and the session stays on JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // initConfig is Config in wire form: site.Config carries a batch.Policy
@@ -135,6 +159,14 @@ type initConfig struct {
 	Sites    []wireSite    `json:"sites,omitempty"`
 	Pilot    *pilot.Config `json:"pilot,omitempty"`
 	DefTestb bool          `json:"default_testbed"`
+
+	// Codec requests a wire codec for every frame after the init exchange
+	// (the init exchange itself is always JSON, which is what lets the two
+	// sides negotiate at all). Empty requests nothing — the session stays on
+	// JSON — and a worker that does not recognize the requested name rejects
+	// the init with a descriptive error rather than answering in a codec the
+	// client may not speak.
+	Codec string `json:"codec,omitempty"`
 }
 
 // wireSite mirrors site.Config field for field, with Policy reduced to its

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"time"
 
 	"aimes/internal/core"
 	"aimes/internal/trace"
@@ -19,7 +21,9 @@ import (
 const WorkerEnv = "AIMES_WORKER_PROCESS"
 
 // bufSink collects a Local backend's outputs between frames; the serve loop
-// flushes it into every response so events ride back in order.
+// flushes it into every response so events ride back in order, and recycles
+// the slice once the response is encoded — the Step hot path allocates no
+// event storage in steady state.
 type bufSink struct {
 	events []wireEvent
 }
@@ -39,119 +43,204 @@ func (s *bufSink) flush() []wireEvent {
 	return ev
 }
 
-// Serve runs one shard worker over a request/response byte stream — the
-// child half of the worker backend. It hosts a Local backend built from the
-// init frame and executes operations strictly in arrival order (the engine
-// is single-threaded by design; serialization is the parent's job). It
-// returns nil on an orderly close or EOF (parent gone), an error on a
-// protocol violation.
-func Serve(r io.Reader, w io.Writer) error {
-	br := bufio.NewReaderSize(r, 1<<16)
-	bw := bufio.NewWriterSize(w, 1<<16)
-	sink := &bufSink{}
-	var local *Local
+// recycle returns an encoded event batch's storage for reuse. The serve
+// loop is single-threaded, so no new events can have arrived between flush
+// and recycle; the guard keeps a future violation from dropping events.
+func (s *bufSink) recycle(ev []wireEvent) {
+	if s.events != nil || ev == nil {
+		return
+	}
+	clear(ev)
+	s.events = ev[:0]
+}
 
+// host is the server half of the session layer: one shard worker serving
+// strictly-alternating request/response frames over a byte stream, in
+// whatever codec the init exchange negotiated. It hosts a Local backend
+// built from the init frame and executes operations strictly in arrival
+// order (the engine is single-threaded by design; serialization is the
+// parent's job).
+type host struct {
+	in       *bufio.Reader
+	out      io.Writer
+	cod      codec
+	maxFrame int
+	sink     bufSink
+	local    *Local
+	wbuf     []byte
+	rbuf     []byte
+}
+
+// Serve runs one shard worker over a request/response byte stream — the
+// child half of the worker backend, on the parent's stdio pipes. It returns
+// nil on an orderly close or EOF (parent gone), an error on a protocol
+// violation.
+func Serve(r io.Reader, w io.Writer) error { return serveStream(r, w, 0) }
+
+func serveStream(r io.Reader, w io.Writer, maxFrame int) error {
+	h := &host{
+		in:       bufio.NewReaderSize(r, 1<<16),
+		out:      w,
+		cod:      jsonCodec{},
+		maxFrame: frameLimit(maxFrame),
+		wbuf:     make([]byte, 0, 4096),
+	}
+	return h.run()
+}
+
+func (h *host) run() error {
 	for {
-		var req request
-		if err := readFrame(br, &req); err != nil {
+		var err error
+		if h.rbuf, err = readFrameInto(h.in, h.rbuf, h.maxFrame); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil
 			}
 			return err
 		}
+		var req request
+		if err := h.cod.DecodeRequest(h.rbuf, &req); err != nil {
+			return err
+		}
 		resp := response{ID: req.ID}
+		next := h.cod
+		closing := false
 		switch req.Op {
 		case opInit:
-			if local != nil {
-				resp.Err = "backend: worker already initialized"
-				break
-			}
-			if req.Init == nil {
-				resp.Err = "backend: init frame without a config"
-				break
-			}
-			cfg, err := wireToConfig(req.Init)
-			if err != nil {
-				resp.Err = err.Error()
-				break
-			}
-			if local, err = NewLocal(cfg, sink); err != nil {
-				resp.Err = err.Error()
-			}
+			next = h.handleInit(&req, &resp)
 		case opClose:
-			resp.Events = sink.flush()
-			if err := writeFrame(bw, &resp); err != nil {
-				return err
-			}
-			return bw.Flush()
+			closing = true
 		default:
-			if local == nil {
-				resp.Err = "backend: operation before init"
-				break
-			}
-			switch req.Op {
-			case opEnact:
-				if req.Desc == nil {
-					resp.Err = "backend: enact frame without a descriptor"
-					break
-				}
-				en, err := local.Enact(req.Desc)
-				if err != nil {
-					resp.Err = err.Error()
-				} else {
-					resp.Enacted = en
-				}
-			case opStep:
-				fired, drained, err := local.Step(req.Max)
-				resp.Fired, resp.Drained = fired, drained
-				if err != nil {
-					resp.Err = err.Error()
-				}
-			case opCancel:
-				if err := local.Cancel(req.Key, req.Reason); err != nil {
-					resp.Err = err.Error()
-				}
-			case opIncomplete:
-				if err := local.Incomplete(req.Key); err != nil {
-					resp.Diag = err.Error()
-				}
-			case opFeedback:
-				if req.Report == nil {
-					resp.Err = "backend: feedback frame without a report"
-					break
-				}
-				if err := local.Feedback(req.Report); err != nil {
-					resp.Err = err.Error()
-				}
-			case opDerive:
-				if req.Workload == nil || req.Config == nil {
-					resp.Err = "backend: derive frame without a workload and strategy config"
-					break
-				}
-				s, err := local.Derive(req.Workload, *req.Config)
-				if err != nil {
-					resp.Err = err.Error()
-				} else {
-					resp.Strategy = &s
-				}
-			case opAppSeed:
-				resp.Seed, _ = local.AppSeed()
-			default:
-				resp.Err = fmt.Sprintf("backend: unknown operation %q", req.Op)
-			}
+			h.handleOp(&req, &resp)
 		}
-		if local != nil {
-			now, _ := local.Now()
+		if h.local != nil {
+			now, _ := h.local.Now()
 			resp.Now = int64(now)
 		}
-		resp.Events = sink.flush()
-		if err := writeFrame(bw, &resp); err != nil {
+		ev := h.sink.flush()
+		resp.Events = ev
+		err = h.writeResponse(&resp)
+		h.sink.recycle(ev)
+		if err != nil {
 			return err
 		}
-		if err := bw.Flush(); err != nil {
-			return err
+		// A negotiated codec switch applies to the frames after the init
+		// response — the response itself goes out in the codec the request
+		// arrived in, or the client could not read the verdict.
+		h.cod = next
+		if closing {
+			return nil
 		}
 	}
+}
+
+// handleInit builds the shard stack and negotiates the codec, returning the
+// codec for every frame after this response. An unknown codec name is
+// rejected descriptively before any stack is built: answering in a codec
+// the client may not speak would strand it.
+func (h *host) handleInit(req *request, resp *response) codec {
+	if h.local != nil {
+		resp.Err = "backend: worker already initialized"
+		return h.cod
+	}
+	if req.Init == nil {
+		resp.Err = "backend: init frame without a config"
+		return h.cod
+	}
+	switch req.Init.Codec {
+	case "", CodecJSON:
+		resp.Codec = CodecJSON
+	case CodecBinary:
+		resp.Codec = CodecBinary
+	default:
+		resp.Err = fmt.Sprintf("backend: worker does not support wire codec %q (supports %q, %q)", req.Init.Codec, CodecJSON, CodecBinary)
+		return h.cod
+	}
+	cfg, err := wireToConfig(req.Init)
+	if err != nil {
+		resp.Err, resp.Codec = err.Error(), ""
+		return h.cod
+	}
+	if h.local, err = NewLocal(cfg, &h.sink); err != nil {
+		resp.Err, resp.Codec = err.Error(), ""
+		return h.cod
+	}
+	if resp.Codec == CodecBinary {
+		return newBinaryCodec()
+	}
+	return h.cod
+}
+
+// handleOp executes one post-init operation against the shard stack.
+func (h *host) handleOp(req *request, resp *response) {
+	if h.local == nil {
+		resp.Err = "backend: operation before init"
+		return
+	}
+	switch req.Op {
+	case opEnact:
+		if req.Desc == nil {
+			resp.Err = "backend: enact frame without a descriptor"
+			return
+		}
+		en, err := h.local.Enact(req.Desc)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Enacted = en
+		}
+	case opStep:
+		fired, drained, err := h.local.Step(req.Max)
+		resp.Fired, resp.Drained = fired, drained
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	case opCancel:
+		if err := h.local.Cancel(req.Key, req.Reason); err != nil {
+			resp.Err = err.Error()
+		}
+	case opIncomplete:
+		if err := h.local.Incomplete(req.Key); err != nil {
+			resp.Diag = err.Error()
+		}
+	case opFeedback:
+		if req.Report == nil {
+			resp.Err = "backend: feedback frame without a report"
+			return
+		}
+		if err := h.local.Feedback(req.Report); err != nil {
+			resp.Err = err.Error()
+		}
+	case opDerive:
+		if req.Workload == nil || req.Config == nil {
+			resp.Err = "backend: derive frame without a workload and strategy config"
+			return
+		}
+		s, err := h.local.Derive(req.Workload, *req.Config)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Strategy = &s
+		}
+	case opAppSeed:
+		resp.Seed, _ = h.local.AppSeed()
+	default:
+		resp.Err = fmt.Sprintf("backend: unknown operation %q", req.Op)
+	}
+}
+
+// writeResponse encodes and writes one response as a single contiguous
+// frame (header and payload in one Write) from the host's reused buffer.
+func (h *host) writeResponse(resp *response) error {
+	var err error
+	h.wbuf = h.wbuf[:4]
+	if h.wbuf, err = h.cod.AppendResponse(h.wbuf, resp); err != nil {
+		return err
+	}
+	if err := finishFrame(h.wbuf, h.maxFrame); err != nil {
+		return err
+	}
+	_, err = h.out.Write(h.wbuf)
+	return err
 }
 
 // ServeIfWorker checks WorkerEnv and, when set, serves the worker protocol
@@ -167,4 +256,69 @@ func ServeIfWorker() {
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// ServeConfig configures a TCP worker host (ListenAndServe,
+// ServeListener).
+type ServeConfig struct {
+	// Secret is the shared handshake secret; serving refuses to start
+	// without one.
+	Secret string
+	// MaxFrame overrides the per-frame size limit (0 means
+	// DefaultMaxFrame). Both sides of a connection must agree.
+	MaxFrame int
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+// ListenAndServe hosts worker shards over TCP: every authenticated
+// connection runs one independent shard stack (one Serve session), so a
+// single host process serves a whole environment's worth of shards — or
+// several environments'. It blocks until the listener fails.
+func ListenAndServe(addr string, cfg ServeConfig) error {
+	if addr == "" {
+		return fmt.Errorf("backend: ListenAndServe: empty listen address")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if cfg.Logf != nil {
+		cfg.Logf("aimes-worker: listening on %s", ln.Addr())
+	}
+	return ServeListener(ln, cfg)
+}
+
+// ServeListener is ListenAndServe over an existing listener (tests use it
+// with a port-0 listener). A failed connection — handshake rejection,
+// protocol violation, codec garbage — ends that connection's shard only;
+// the host keeps serving. It returns when the listener closes.
+func ServeListener(ln net.Listener, cfg ServeConfig) error {
+	if cfg.Secret == "" {
+		return fmt.Errorf("backend: refusing to host TCP workers without a shared secret (set --secret or $AIMES_WORKER_SECRET)")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(nc net.Conn) {
+			defer nc.Close()
+			if err := hostHandshake(nc, cfg.Secret, 10*time.Second); err != nil {
+				logf("aimes-worker: %s: handshake failed: %v", nc.RemoteAddr(), err)
+				return
+			}
+			logf("aimes-worker: %s: shard connected", nc.RemoteAddr())
+			if err := serveStream(nc, nc, cfg.MaxFrame); err != nil {
+				logf("aimes-worker: %s: shard failed: %v", nc.RemoteAddr(), err)
+				return
+			}
+			logf("aimes-worker: %s: shard closed", nc.RemoteAddr())
+		}(nc)
+	}
 }

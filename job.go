@@ -908,11 +908,19 @@ func (j *Job) complete(r *Report, err error) {
 	close(j.done)
 }
 
-// pumpBatch bounds how many events one Wait iteration fires while holding
-// the shard lock, so concurrent waiters, submitters and cancelers of the
-// same shard interleave promptly. On the worker backend it is also the
-// wire-batch granularity: one Step round trip per batch.
+// pumpBatch bounds how many events one Wait iteration fires on a local
+// shard while holding the shard lock, so concurrent waiters, submitters and
+// cancelers of the same shard interleave promptly.
 const pumpBatch = 64
+
+// workerPumpBatch is the pump granularity for worker shards, where every
+// batch is one wire round trip (encode, two pipe or socket crossings,
+// decode) — protocol overhead is per batch, so a larger batch is what
+// amortizes it. Coarser interleaving is the price: admission from the
+// stealing queue is batch-granular over the wire (the documented worker
+// caveat), and one waiter holds the shard lock for a round trip's worth of
+// events.
+const workerPumpBatch = 512
 
 // pump advances virtual time on behalf of a waiting job: whoever waits,
 // steps — and only this job's shard, so waiters on different shards fire
@@ -996,16 +1004,18 @@ func (sh *shardEnv) pump(j *Job) (stalled bool) {
 	return false
 }
 
-// stepBatch fires up to pumpBatch events on the shard's backend, reporting
-// how many fired and whether the event queue drained, and accounts the wall
-// time spent firing toward the shard's observed-throughput signal (for a
-// worker shard that includes the wire round trip — honest accounting, since
-// that is the real drain rate the environment gets from it).
+// stepBatch fires up to one batch of events on the shard's backend (the
+// shard's own granularity: pumpBatch locally, workerPumpBatch over the
+// wire), reporting how many fired and whether the event queue drained, and
+// accounts the wall time spent firing toward the shard's
+// observed-throughput signal (for a worker shard that includes the wire
+// round trip — honest accounting, since that is the real drain rate the
+// environment gets from it).
 func (sh *shardEnv) stepBatch() (fired int, drained bool, err error) {
 	start := time.Now()
 	defer func() {
 		sh.busyNanos.Add(time.Since(start).Nanoseconds())
 		sh.eventsFired.Add(int64(fired))
 	}()
-	return sh.be.Step(pumpBatch)
+	return sh.be.Step(sh.batch)
 }
