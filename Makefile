@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke server-smoke ci
 
 build:
 	$(GO) build ./...
@@ -83,4 +83,12 @@ worker-smoke:
 worker-tcp-smoke:
 	./scripts/worker_tcp_smoke.sh
 
-ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke
+# Service-daemon smoke: a real aimes-server on an ephemeral port, on both
+# the local and TCP-worker backends — two quota-limited tenants, a 429
+# quota rejection, SSE event streaming, reconnect-and-wait by job ID,
+# /metrics counters, and a graceful SIGTERM drain
+# (see scripts/server_smoke.sh).
+server-smoke:
+	timeout 300 ./scripts/server_smoke.sh
+
+ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke server-smoke

@@ -85,6 +85,7 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -282,7 +283,8 @@ type Environment struct {
 	jobMu  sync.Mutex
 	jobSeq int
 
-	closed atomic.Bool
+	closed   atomic.Bool
+	draining atomic.Bool
 }
 
 // shardEnv is the environment's frontend for one simulation shard: the
@@ -640,7 +642,19 @@ func NewEnv(opts ...Option) (*Environment, error) {
 				o.workerSecret = os.Getenv("AIMES_WORKER_SECRET")
 			}
 			if o.workerSecret == "" {
-				return nil, fmt.Errorf("aimes: WithWorkerAddr(%q) needs a shared secret: pass WithWorkerSecret or set $AIMES_WORKER_SECRET to the value the worker host serves with", o.workerAddr)
+				// Same file fallback the worker host honours, so neither
+				// side of the handshake needs the secret in its environment
+				// listing.
+				if path := os.Getenv("AIMES_WORKER_SECRET_FILE"); path != "" {
+					b, err := os.ReadFile(path)
+					if err != nil {
+						return nil, fmt.Errorf("aimes: reading $AIMES_WORKER_SECRET_FILE: %w", err)
+					}
+					o.workerSecret = strings.TrimSpace(string(b))
+				}
+			}
+			if o.workerSecret == "" {
+				return nil, fmt.Errorf("aimes: WithWorkerAddr(%q) needs a shared secret: pass WithWorkerSecret, set $AIMES_WORKER_SECRET, or point $AIMES_WORKER_SECRET_FILE at a file holding the value the worker host serves with", o.workerAddr)
 			}
 		case o.workerCmd == nil:
 			argv, err := resolveWorkerCommand()
@@ -860,6 +874,84 @@ func (e *Environment) Close() error {
 		}
 	}
 	return first
+}
+
+// Drain gracefully winds the environment down: it stops admission — every
+// subsequent Submit fails with a descriptive error — and then waits for all
+// live jobs (queued or enacted, on every shard) to reach a final state.
+// Drain itself pumps: on virtual-time shards it calls Wait on each live job,
+// so jobs finish even with no other waiter attached. It returns nil once no
+// shard owns a live job, or ctx's error if the context expires first (the
+// environment stays draining either way). Drain then Close is the orderly
+// shutdown sequence for a long-lived service.
+func (e *Environment) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.draining.Store(true)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var live []*Job
+		for _, sh := range e.shards {
+			sh.sync(func() {
+				for _, j := range sh.jobs {
+					live = append(live, j)
+				}
+			})
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		// Deterministic wait order (map iteration is not); a job caught
+		// mid-migration can appear twice, which Wait tolerates.
+		sort.Slice(live, func(i, k int) bool { return live[i].id < live[k].id })
+		for _, j := range live {
+			if _, err := j.Wait(ctx); err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// Draining reports whether Drain has been called: admission is stopped and
+// the environment is winding down.
+func (e *Environment) Draining() bool { return e.draining.Load() }
+
+// ShardLoad is one shard's point-in-time load snapshot (see Loads).
+type ShardLoad struct {
+	Shard   int     // shard index
+	Running int     // enacted, unfinished jobs
+	Queued  int     // submitted jobs awaiting admission (work stealing only)
+	Load    float64 // weighted effective load: estimated seconds to drain
+	Window  int     // current admission window (0 without work stealing)
+}
+
+// Loads snapshots every shard's queue depth, running-job count, admission
+// window and weighted effective load — the same seconds-to-drain signal
+// least-loaded placement and work stealing consult. The snapshot is not a
+// single atomic cut across shards; it is meant for monitoring and metrics
+// exposition, not coordination.
+func (e *Environment) Loads() []ShardLoad {
+	e.jobMu.Lock()
+	load := e.loadFunc()
+	out := make([]ShardLoad, len(e.shards))
+	for k := range e.shards {
+		out[k].Shard = k
+		out[k].Load = load(k)
+	}
+	e.jobMu.Unlock()
+	for k, sh := range e.shards {
+		if e.steal {
+			out[k].Window = int(sh.lastWindow.Load())
+		}
+		sh.sync(func() {
+			out[k].Running = sh.running
+			out[k].Queued = len(sh.queue)
+		})
+	}
+	return out
 }
 
 // KillWorker terminates shard k's worker process immediately — a chaos hook

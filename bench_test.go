@@ -573,6 +573,18 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 			skewRatio = skewed.JobsPerSecond / balanced.JobsPerSecond
 		}
 	}
+	// skewKeys merges the skew measurements into a record only when the skew
+	// point actually ran. On 1-core runners (GOMAXPROCS 1) stealing has no
+	// second shard to steal to, the point is skipped, and emitting literal
+	// zeros would read as "throughput collapsed" in the history; an absent
+	// key is what bench-check treats as "skipped".
+	skewKeys := func(m map[string]any) map[string]any {
+		if skewed != nil {
+			m["skewed_jobs_per_second"] = skewedJPS
+			m["skew_ratio"] = skewRatio
+		}
+		return m
+	}
 	workersJPS, workersJSONJPS, workerAllocs := 0.0, 0.0, 0.0
 	if workersPoint != nil {
 		workersJPS = workersPoint.JobsPerSecond
@@ -585,17 +597,15 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	if workersJSONJPS > 0 {
 		codecSpeedup = workersJPS / workersJSONJPS
 	}
-	record := map[string]any{
-		"benchmark":              "BenchmarkConcurrentJobs",
-		"jobs":                   nJobs,
-		"tasks_per_job":          nTasks,
-		"gomaxprocs":             maxprocs,
-		"sweep":                  sweep,
-		"jobs_per_second":        peak.JobsPerSecond,
-		"peak_shards":            peak.Shards,
-		"speedup_vs_one_shard":   peak.JobsPerSecond / base.JobsPerSecond,
-		"skewed_jobs_per_second": skewedJPS,
-		"skew_ratio":             skewRatio,
+	record := skewKeys(map[string]any{
+		"benchmark":            "BenchmarkConcurrentJobs",
+		"jobs":                 nJobs,
+		"tasks_per_job":        nTasks,
+		"gomaxprocs":           maxprocs,
+		"sweep":                sweep,
+		"jobs_per_second":      peak.JobsPerSecond,
+		"peak_shards":          peak.Shards,
+		"speedup_vs_one_shard": peak.JobsPerSecond / base.JobsPerSecond,
 		// Worker-backend trajectory points: binary is the default codec
 		// (gated via bench-check -min-worker-ratio against the local peak),
 		// json is the negotiation fallback, and their ratio is the codec's
@@ -605,7 +615,7 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		"workers_json_jobs_per_second": workersJSONJPS,
 		"worker_codec_speedup":         codecSpeedup,
 		"worker_allocs_per_job":        workerAllocs,
-	}
+	})
 	buf, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -617,7 +627,7 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 	// Append this run to the bench trajectory history: one compact JSONL
 	// record per run, so bench-check -drift can flag slow regressions that
 	// stay under the single-run threshold.
-	hist := map[string]any{
+	hist := skewKeys(map[string]any{
 		"time":                         time.Now().UTC().Format(time.RFC3339),
 		"commit":                       benchCommit(),
 		"gomaxprocs":                   maxprocs,
@@ -625,11 +635,10 @@ func BenchmarkConcurrentJobs(b *testing.B) {
 		"tasks_per_job":                nTasks,
 		"sweep":                        sweep,
 		"jobs_per_second":              peak.JobsPerSecond,
-		"skew_ratio":                   skewRatio,
 		"workers_jobs_per_second":      workersJPS,
 		"workers_json_jobs_per_second": workersJSONJPS,
 		"worker_allocs_per_job":        workerAllocs,
-	}
+	})
 	line, err := json.Marshal(hist)
 	if err != nil {
 		b.Fatal(err)

@@ -16,17 +16,22 @@
 // independent shard per authenticated connection — the first step toward a
 // multi-host fleet:
 //
-//	AIMES_WORKER_SECRET=$(openssl rand -hex 16) aimes-worker serve --listen :9464
+//	openssl rand -hex 16 > secret.txt
+//	aimes-worker serve --listen :9464 --secret-file secret.txt
 //
 // and on the client side:
 //
 //	env, _ := aimes.NewEnv(aimes.WithShards(4),
 //		aimes.WithWorkerAddr("fleet-3:9464"),
-//		aimes.WithWorkerSecret(os.Getenv("AIMES_WORKER_SECRET")))
+//		aimes.WithWorkerSecret(secret))
 //
-// Connections authenticate with the shared secret (HMAC challenge/response;
-// the secret never crosses the wire) but are not encrypted — no TLS yet —
-// so serve on trusted networks only.
+// The serve secret resolves in precedence order: --secret, --secret-file,
+// $AIMES_WORKER_SECRET, then a file named by $AIMES_WORKER_SECRET_FILE.
+// File contents are trimmed of surrounding whitespace. The NewEnv side
+// honors the same two environment variables when WithWorkerSecret is not
+// given. Connections authenticate with the shared secret (HMAC
+// challenge/response; the secret never crosses the wire) but are not
+// encrypted — no TLS yet — so serve on trusted networks only.
 //
 // Programs can instead self-host stdio workers without this binary by
 // calling aimes.WorkerMain() at the top of main.
@@ -37,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"aimes/internal/backend"
 )
@@ -59,7 +65,8 @@ func main() {
 func serve(args []string) {
 	fs := flag.NewFlagSet("aimes-worker serve", flag.ExitOnError)
 	listen := fs.String("listen", "", "TCP address to listen on, e.g. :9464 or 127.0.0.1:9464")
-	secret := fs.String("secret", os.Getenv("AIMES_WORKER_SECRET"), "shared handshake secret (default $AIMES_WORKER_SECRET)")
+	secret := fs.String("secret", "", "shared handshake secret (prefer --secret-file; falls back to $AIMES_WORKER_SECRET, then $AIMES_WORKER_SECRET_FILE)")
+	secretFile := fs.String("secret-file", "", "file holding the shared handshake secret (surrounding whitespace trimmed)")
 	maxFrame := fs.Int("max-frame", 0, "per-frame size limit in bytes (0 = protocol default; must match the clients')")
 	quiet := fs.Bool("quiet", false, "suppress per-connection log lines")
 	_ = fs.Parse(args)
@@ -68,15 +75,50 @@ func serve(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	key, err := resolveSecret(*secret, *secretFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aimes-worker serve: %v\n", err)
+		os.Exit(2)
+	}
 	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
 	if *quiet {
 		logf = nil
 	}
-	err := backend.ListenAndServe(*listen, backend.ServeConfig{
-		Secret:   *secret,
+	err = backend.ListenAndServe(*listen, backend.ServeConfig{
+		Secret:   key,
 		MaxFrame: *maxFrame,
 		Logf:     logf,
 	})
 	fmt.Fprintf(os.Stderr, "aimes-worker serve: %v\n", err)
 	os.Exit(1)
+}
+
+// resolveSecret picks the handshake secret by precedence: --secret, then
+// --secret-file, then $AIMES_WORKER_SECRET, then a file named by
+// $AIMES_WORKER_SECRET_FILE. File contents are trimmed of surrounding
+// whitespace so a trailing newline (echo, openssl rand) is harmless. An
+// empty result is allowed here — ListenAndServe refuses it with its own
+// descriptive error.
+func resolveSecret(flagSecret, flagFile string) (string, error) {
+	if flagSecret != "" {
+		return flagSecret, nil
+	}
+	if flagFile != "" {
+		b, err := os.ReadFile(flagFile)
+		if err != nil {
+			return "", fmt.Errorf("reading --secret-file: %v", err)
+		}
+		return strings.TrimSpace(string(b)), nil
+	}
+	if s := os.Getenv("AIMES_WORKER_SECRET"); s != "" {
+		return s, nil
+	}
+	if path := os.Getenv("AIMES_WORKER_SECRET_FILE"); path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("reading $AIMES_WORKER_SECRET_FILE: %v", err)
+		}
+		return strings.TrimSpace(string(b)), nil
+	}
+	return "", nil
 }

@@ -1,0 +1,164 @@
+// Service mode: aimes as a long-lived multi-tenant daemon. One process owns
+// a sharded Environment and serves the async Job API over HTTP — submit,
+// long-poll wait, cancel, SSE event streams — with per-tenant bearer tokens,
+// admission quotas and Prometheus metrics.
+//
+// This program embeds the daemon (the same internal/server core the
+// aimes-server binary mounts) on a loopback port and drives it with the
+// aimes/client package: alice (quota: one job in flight) submits a long job,
+// has her second submission refused with 429, and cancels the first; bob
+// streams his job's events over SSE while waiting for the report; a few
+// metrics lines close the tour, then the daemon drains gracefully.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"aimes"
+	"aimes/client"
+	"aimes/internal/batch"
+	"aimes/internal/server"
+)
+
+func fastSite(name string) aimes.SiteConfig {
+	return aimes.SiteConfig{
+		Name: name, Nodes: 8, CoresPerNode: 4, Architecture: "beowulf",
+		WaitModel: batch.WaitModel{
+			MedianWait: 30 * time.Millisecond, Sigma: 0.4,
+			MinWait: 10 * time.Millisecond, MaxWait: 150 * time.Millisecond,
+		},
+		SubmitLatency: 2 * time.Millisecond,
+		BandwidthMBps: 1000, NetLatency: time.Millisecond, StorageGB: 10,
+	}
+}
+
+func workload(name string, tasks int, durS float64, seed int64) *aimes.Workload {
+	w, err := aimes.GenerateWorkload(aimes.AppSpec{
+		Name: name,
+		Stages: []aimes.StageSpec{{
+			Name: "main", Tasks: tasks, DurationS: aimes.ConstantSpec(durS),
+		}},
+	}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}
+
+func main() {
+	// The daemon side: a wall-clock environment (so in-flight jobs occupy
+	// real time and quotas bite) behind the HTTP service core.
+	env, err := aimes.NewEnv(
+		aimes.WithRealTime(),
+		aimes.WithSeed(42),
+		aimes.WithSites(fastSite("left"), fastSite("right")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auth, err := server.NewAuth(map[string]server.Tenant{
+		"alice-token": {Name: "alice", Quota: server.Quota{MaxInFlight: 1}},
+		"bob-token":   {Name: "bob"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Env: env, Auth: auth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon on %s, tenants alice (quota 1 in flight) and bob\n\n", base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	alice := client.New(base, "alice-token")
+	bob := client.New(base, "bob-token")
+	cfg := aimes.StrategyConfig{
+		Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+	}
+
+	// Alice fills her quota with a long-running job...
+	long, err := alice.Submit(ctx, workload("long", 1, 60, 1), client.SubmitOptions{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice: job %s admitted (%s)\n", long.ID, long.State)
+
+	// ...so her second submission is refused at admission with 429.
+	_, err = alice.Submit(ctx, workload("extra", 4, 0.2, 2), client.SubmitOptions{Config: cfg})
+	if !client.IsQuotaError(err) {
+		log.Fatalf("expected a quota rejection, got %v", err)
+	}
+	fmt.Printf("alice: second job refused: %v\n", err)
+
+	// Bob's tenancy is unaffected by alice's full quota.
+	job, err := bob.Submit(ctx, workload("bob", 12, 0.2, 3), client.SubmitOptions{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob:   job %s admitted\n\n", job.ID)
+
+	// Stream bob's events over SSE while a long-poll wait runs beside it.
+	stream, err := bob.Events(ctx, job.ID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for ev := range stream.C {
+			if ev.Entity == "em" || ev.State == "ACTIVE" {
+				fmt.Printf("  sse #%-3d %8.0fms  %-14s %s\n",
+					ev.Seq, float64(ev.Time.Microseconds())/1000, ev.Entity, ev.State)
+			}
+		}
+	}()
+	report, err := bob.Wait(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbob:   %d tasks done, TTC %v\n", report.UnitsDone, report.TTC.Round(time.Millisecond))
+
+	// Alice frees her quota; a canceled job still yields its report.
+	if _, err := alice.Cancel(ctx, long.ID, "demo over"); err != nil {
+		log.Fatal(err)
+	}
+	report, err = alice.Wait(ctx, long.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := alice.Job(ctx, long.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice: job %s %s, %d unit(s) canceled\n\n", long.ID, info.State, report.UnitsCanceled)
+
+	// The same counters, scraped as Prometheus text.
+	text, err := bob.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "aimes_jobs_") && !strings.HasPrefix(line, "#") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// Graceful shutdown: drain in-flight jobs, then stop serving.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	hs.Shutdown(ctx)
+	fmt.Println("\ndaemon drained and closed")
+}

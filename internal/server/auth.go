@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Quota bounds one tenant's admission. Zero fields are unlimited.
+type Quota struct {
+	// MaxInFlight caps the tenant's live (non-final) jobs, enacted or
+	// queued. Admission of the N+1th job is rejected with HTTP 429.
+	MaxInFlight int
+	// MaxQueued caps how many of those live jobs may sit un-enacted behind
+	// the admission windows (JobQueued — pure descriptors awaiting a shard
+	// slot, the state work stealing migrates). It only bites on
+	// work-stealing environments; without stealing jobs enact at Submit.
+	MaxQueued int
+}
+
+// Tenant is one authenticated principal: a name (it becomes the tenant
+// label on /metrics) and its admission quota.
+type Tenant struct {
+	Name  string
+	Quota Quota
+}
+
+// Auth maps static bearer tokens to tenants — the daemon's whole identity
+// layer for now. Lookups compare in constant time per token.
+type Auth struct {
+	tenants []authEntry
+}
+
+type authEntry struct {
+	token  string
+	tenant Tenant
+}
+
+// NewAuth builds an Auth from a token→tenant map.
+func NewAuth(tenants map[string]Tenant) (*Auth, error) {
+	a := &Auth{}
+	for tok, tn := range tenants {
+		if err := a.add(tok, tn); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func (a *Auth) add(token string, tn Tenant) error {
+	if token == "" {
+		return fmt.Errorf("server: tenant %q has an empty token", tn.Name)
+	}
+	if !validTenantName(tn.Name) {
+		return fmt.Errorf("server: invalid tenant name %q (want [A-Za-z0-9_.-]+; it becomes a Prometheus label value)", tn.Name)
+	}
+	for _, e := range a.tenants {
+		if e.token == token {
+			return fmt.Errorf("server: tenants %q and %q share a token", e.tenant.Name, tn.Name)
+		}
+		if e.tenant.Name == tn.Name {
+			return fmt.Errorf("server: duplicate tenant %q", tn.Name)
+		}
+	}
+	a.tenants = append(a.tenants, authEntry{token: token, tenant: tn})
+	return nil
+}
+
+// LoadTokenFile reads the static token file: one tenant per line,
+//
+//	# comment
+//	tenant-name token [max_inflight [max_queued]]
+//
+// Omitted quota columns fall back to def. Tenant names are restricted to
+// [A-Za-z0-9_.-]+ so they embed verbatim as Prometheus label values.
+func LoadTokenFile(path string, def Quota) (*Auth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: token file: %w", err)
+	}
+	defer f.Close()
+	a := &Auth{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("server: %s:%d: want \"tenant token [max_inflight [max_queued]]\", got %d fields", path, line, len(fields))
+		}
+		tn := Tenant{Name: fields[0], Quota: def}
+		if len(fields) >= 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("server: %s:%d: bad max_inflight %q", path, line, fields[2])
+			}
+			tn.Quota.MaxInFlight = n
+		}
+		if len(fields) == 4 {
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("server: %s:%d: bad max_queued %q", path, line, fields[3])
+			}
+			tn.Quota.MaxQueued = n
+		}
+		if err := a.add(fields[1], tn); err != nil {
+			return nil, fmt.Errorf("%s (at %s:%d)", err, path, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: token file: %w", err)
+	}
+	if len(a.tenants) == 0 {
+		return nil, fmt.Errorf("server: token file %s defines no tenants", path)
+	}
+	return a, nil
+}
+
+// Tenants lists the configured tenants (for startup logging), in file order.
+func (a *Auth) Tenants() []Tenant {
+	out := make([]Tenant, len(a.tenants))
+	for i, e := range a.tenants {
+		out[i] = e.tenant
+	}
+	return out
+}
+
+// authenticate resolves the request's bearer token to a tenant.
+func (a *Auth) authenticate(r *http.Request) (Tenant, bool) {
+	h := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || token == "" {
+		return Tenant{}, false
+	}
+	// Constant-time scan over all entries: the match (and every miss)
+	// touches every configured token, so response timing does not narrow
+	// the token search space.
+	var found *Tenant
+	for i := range a.tenants {
+		e := &a.tenants[i]
+		if subtle.ConstantTimeCompare([]byte(e.token), []byte(token)) == 1 {
+			found = &e.tenant
+		}
+	}
+	if found == nil {
+		return Tenant{}, false
+	}
+	return *found, true
+}
+
+func validTenantName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"aimes/client"
+)
+
+// fanout is one job's event distribution point: it assigns sequence
+// numbers, keeps a bounded replay ring so reconnecting subscribers can
+// resume from their last seq, and fans live events out to any number of SSE
+// subscribers with non-blocking sends (a slow subscriber loses events to
+// its own drop counter, never stalls the job). All methods are safe for
+// concurrent use.
+type fanout struct {
+	mu sync.Mutex
+
+	next  int64 // seq the next event gets (first event is 1)
+	ring  []client.Event
+	start int // ring[start] is the oldest retained event (circular)
+	count int
+
+	subs map[*fanSub]struct{}
+
+	done  bool
+	final client.JobInfo
+}
+
+// fanSub is one subscriber: a buffered channel plus a count of events the
+// fanout could not deliver to it.
+type fanSub struct {
+	ch      chan client.Event
+	dropped int64 // guarded by the fanout's mu
+}
+
+func newFanout(replay int) *fanout {
+	if replay < 1 {
+		replay = 1
+	}
+	return &fanout{next: 1, ring: make([]client.Event, replay), subs: make(map[*fanSub]struct{})}
+}
+
+// publish stamps ev with the next sequence number, retains it in the replay
+// ring and delivers it to every live subscriber.
+func (f *fanout) publish(ev client.Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ev.Seq = f.next
+	f.next++
+	i := (f.start + f.count) % len(f.ring)
+	f.ring[i] = ev
+	if f.count < len(f.ring) {
+		f.count++
+	} else {
+		f.start = (f.start + 1) % len(f.ring)
+	}
+	for s := range f.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// finish marks the stream complete with the job's terminal snapshot and
+// closes every subscriber channel. Later attaches replay and see done
+// immediately.
+func (f *fanout) finish(info client.JobInfo) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	f.done = true
+	f.final = info
+	for s := range f.subs {
+		close(s.ch)
+		delete(f.subs, s)
+	}
+}
+
+// attach subscribes from sequence number from (0 and 1 both mean "from the
+// beginning"). It returns the events still retained with seq >= from, the
+// number lost to ring eviction before that, and — when the stream already
+// finished — a nil subscription plus the terminal snapshot.
+func (f *fanout) attach(from int64, buf int) (sub *fanSub, replay []client.Event, missed int64, done bool, final client.JobInfo) {
+	if from < 1 {
+		from = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldest := f.next - int64(f.count)
+	if from < oldest {
+		missed = oldest - from
+		from = oldest
+	}
+	for i := 0; i < f.count; i++ {
+		ev := f.ring[(f.start+i)%len(f.ring)]
+		if ev.Seq >= from {
+			replay = append(replay, ev)
+		}
+	}
+	if f.done {
+		return nil, replay, missed, true, f.final
+	}
+	sub = &fanSub{ch: make(chan client.Event, buf)}
+	f.subs[sub] = struct{}{}
+	return sub, replay, missed, false, client.JobInfo{}
+}
+
+func (f *fanout) detach(s *fanSub) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.subs[s]; ok {
+		delete(f.subs, s)
+		close(s.ch)
+	}
+}
+
+// subDropped reads s's drop counter under the fanout lock.
+func (f *fanout) subDropped(s *fanSub) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return s.dropped
+}
+
+// finalInfo returns the terminal snapshot (valid once done).
+func (f *fanout) finalInfo() (client.JobInfo, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.final, f.done
+}
+
+// sseWriter emits the Server-Sent-Events wire format.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("server: response writer cannot stream (no http.Flusher)")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}, nil
+}
+
+// event writes one SSE event with a JSON payload. id is optional (>0 only).
+func (s *sseWriter) event(name string, id int64, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	if id > 0 {
+		if _, err := fmt.Fprintf(s.w, "id: %d\n", id); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// comment writes a heartbeat comment line keeping idle connections alive.
+func (s *sseWriter) comment(text string) error {
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}

@@ -215,6 +215,18 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Reject early when the environment is gone or going: a closed
+	// environment has no backends to enact on, and a draining one has
+	// promised its waiters no new work will be admitted. Both races
+	// (Close/Drain concurrent with a Submit already past this check) still
+	// resolve to descriptive errors — a dead backend fails the enactment,
+	// and Drain's live-job sweep loops until the stragglers finish.
+	if e.closed.Load() {
+		return nil, fmt.Errorf("aimes: Submit on closed environment")
+	}
+	if e.draining.Load() {
+		return nil, fmt.Errorf("aimes: Submit rejected: environment is draining (shutting down)")
+	}
 	buf := cfg.EventBuffer
 	if buf <= 0 {
 		buf = e.eventBuf
@@ -316,6 +328,13 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 			e.jobSeq = id - 1
 		}
 		e.jobMu.Unlock()
+		// A Submit that slipped past the early check while Close was tearing
+		// the backends down fails enactment with a raw transport error (a
+		// closed pipe or socket); name the real cause. Close stores the flag
+		// before closing any backend, so it is visible here.
+		if e.closed.Load() {
+			reterr = fmt.Errorf("aimes: Submit on closed environment (shard %d enactment raced Close: %v)", sh.id, reterr)
+		}
 		return nil, reterr
 	}
 	if ctx.Done() != nil {
