@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke server-smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke server-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -91,4 +91,11 @@ worker-tcp-smoke:
 server-smoke:
 	timeout 300 ./scripts/server_smoke.sh
 
-ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke server-smoke
+# Worker-fleet smoke: two real `aimes-worker serve` hosts behind one
+# aimes-server, kill -9 of one host mid-run — queued jobs replay on a
+# respawned worker placed on the survivor, enacted jobs fail, the restart
+# is visible in /metrics (see scripts/fleet_smoke.sh).
+fleet-smoke:
+	timeout 300 ./scripts/fleet_smoke.sh
+
+ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke server-smoke fleet-smoke

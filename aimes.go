@@ -249,6 +249,16 @@ type Environment struct {
 	realTime bool
 	kind     BackendKind
 
+	// pool is the worker fleet manager (nil on the local backend): it owns
+	// every worker session, places shards on endpoints, probes liveness,
+	// and respawns dead workers within the restart budget. All sh.be
+	// lifecycle transitions on worker environments route through it.
+	pool *backend.Pool
+
+	// replayed counts queued (never-enacted) descriptors re-admitted onto
+	// a respawned worker after its predecessor died.
+	replayed atomic.Int64
+
 	// resources is the testbed site names in registration order — identical
 	// on every shard and backend, so validation never crosses the seam.
 	resources []string
@@ -303,6 +313,12 @@ type shardEnv struct {
 	syncer    sim.Syncer        // wall-clock callback serialization; nil → mu
 	quiet     backend.Quiescent // non-nil when the backend answers runnability
 	steppable bool
+
+	// wcfg is the backend configuration the shard was built from — kept so
+	// a respawn dials the replacement with the identical per-shard seed.
+	// restarts counts successful respawns of this shard's worker.
+	wcfg     backend.Config
+	restarts atomic.Int32
 
 	// rec is the shard's frontend trace: every record of this shard's jobs,
 	// entity-qualified by namespace, fed by the backend sink. Its observer
@@ -406,6 +422,7 @@ type envOptions struct {
 	workerSecret string
 	wireCodec    string
 	maxFrame     int
+	pool         *WorkerPool
 }
 
 // WithSeed sets the seed driving all randomness; environments with equal
@@ -565,9 +582,91 @@ func WithWorkerAddr(addr string) Option {
 
 // WithWorkerSecret sets the shared secret for the TCP worker handshake,
 // overriding $AIMES_WORKER_SECRET. It has no effect on process workers
-// (stdio pipes need no authentication).
+// (stdio pipes need no authentication). With WithWorkerPool it is the
+// fallback when WorkerPool.Secret is empty.
 func WithWorkerSecret(secret string) Option {
 	return func(o *envOptions) { o.workerSecret = secret }
+}
+
+// WorkerEndpoint is one place a fleet can host worker shards: a TCP worker
+// host (`aimes-worker serve`) when Addr is set, or spawned child processes
+// when it is not.
+type WorkerEndpoint struct {
+	// Name identifies the endpoint in FleetStats and the cordon/drain
+	// calls; empty defaults to Addr (TCP) or the command's first element.
+	Name string
+	// Addr is a TCP worker host ("host:port"); empty means process mode.
+	Addr string
+	// Command overrides the worker command for this endpoint in process
+	// mode (default: WorkerPool.Command, then the usual resolution chain).
+	Command []string
+}
+
+// WorkerPool is the consolidated worker-fleet configuration — the one
+// place to express what WithWorkers, WithWorkerCommand, WithWorkerAddr and
+// WithWorkerSecret used to spread over four options, plus what they could
+// not express at all: several endpoints (N hosts × M shards), mixed TCP and
+// process endpoints in one environment, and a fleet lifecycle (liveness
+// probes, live respawn within a restart budget, cordon/drain).
+//
+// Shard k starts on endpoint k mod len(Endpoints); when a worker dies and
+// MaxRestarts allows, it is respawned with the same shard seed — on its
+// home endpoint when reachable, failing over to the next non-cordoned one
+// otherwise — and its queued, never-enacted jobs are replayed there. See
+// WithWorkerPool.
+type WorkerPool struct {
+	// Endpoints lists where shards run. Empty means one process-mode
+	// endpoint (spawn children from Command or the resolution chain) — the
+	// exact shape the legacy options configured.
+	Endpoints []WorkerEndpoint
+	// Secret is the shared TCP handshake secret, required when any
+	// endpoint has an Addr (falls back to WithWorkerSecret,
+	// $AIMES_WORKER_SECRET, then $AIMES_WORKER_SECRET_FILE).
+	Secret string
+	// Command is the default worker command for process-mode endpoints
+	// (per-endpoint Command wins; nil falls back to $AIMES_WORKER, an
+	// aimes-worker on $PATH, then WorkerMain self-exec).
+	Command []string
+	// MaxRestarts bounds live respawns per shard. 0 — the default, and
+	// what the legacy single-endpoint options configure — disables respawn:
+	// a dead worker terminally fails its shard's jobs, exactly the
+	// pre-fleet contract.
+	MaxRestarts int
+	// HealthInterval is the per-worker liveness-probe period (a ping
+	// opcode over the session). 0 disables probing; worker death still
+	// surfaces out of band for child processes and in-band on the next
+	// wire operation for TCP workers.
+	HealthInterval time.Duration
+}
+
+// WithWorkerPool configures the worker fleet in one option — endpoints,
+// secret, restart budget, health probing — and implies
+// WithBackend(BackendWorker). Combine with WithShards to size the
+// environment:
+//
+//	env, err := aimes.NewEnv(aimes.WithShards(8),
+//		aimes.WithWorkerPool(aimes.WorkerPool{
+//			Endpoints: []aimes.WorkerEndpoint{
+//				{Addr: "fleet-1:9464"},
+//				{Addr: "fleet-2:9464"},
+//			},
+//			Secret:         secret,
+//			MaxRestarts:    2,
+//			HealthInterval: 5 * time.Second,
+//		}))
+//
+// The legacy options remain as shims over a single-endpoint pool with
+// MaxRestarts 0: WithWorkerCommand(cmd) ≡ WorkerPool{Command: cmd},
+// WithWorkerAddr(a) + WithWorkerSecret(s) ≡ WorkerPool{Endpoints:
+// []WorkerEndpoint{{Addr: a}}, Secret: s}. Mixing WithWorkerPool with
+// WithWorkerAddr or WithWorkerCommand is rejected as ambiguous;
+// WithWorkerSecret composes (it is the Secret fallback).
+func WithWorkerPool(p WorkerPool) Option {
+	return func(o *envOptions) {
+		cp := p
+		o.pool = &cp
+		o.kind = BackendWorker
+	}
 }
 
 // Wire codecs for WithWireCodec.
@@ -629,6 +728,7 @@ func NewEnv(opts ...Option) (*Environment, error) {
 	default:
 		return nil, fmt.Errorf("aimes: unknown wire codec %q (want CodecJSON, CodecBinary, or empty for negotiated)", o.wireCodec)
 	}
+	var pcfg backend.PoolConfig
 	if o.kind == BackendWorker {
 		if o.realTime {
 			return nil, fmt.Errorf("aimes: the worker backend is virtual-time by construction (the parent drives each worker's engine over the wire); WithRealTime requires BackendLocal")
@@ -636,32 +736,9 @@ func NewEnv(opts ...Option) (*Environment, error) {
 		if os.Getenv(backend.WorkerEnv) != "" {
 			return nil, fmt.Errorf("aimes: a worker process may not spawn workers of its own (call aimes.WorkerMain at the top of main so the child serves instead of re-running the program)")
 		}
-		switch {
-		case o.workerAddr != "":
-			if o.workerSecret == "" {
-				o.workerSecret = os.Getenv("AIMES_WORKER_SECRET")
-			}
-			if o.workerSecret == "" {
-				// Same file fallback the worker host honours, so neither
-				// side of the handshake needs the secret in its environment
-				// listing.
-				if path := os.Getenv("AIMES_WORKER_SECRET_FILE"); path != "" {
-					b, err := os.ReadFile(path)
-					if err != nil {
-						return nil, fmt.Errorf("aimes: reading $AIMES_WORKER_SECRET_FILE: %w", err)
-					}
-					o.workerSecret = strings.TrimSpace(string(b))
-				}
-			}
-			if o.workerSecret == "" {
-				return nil, fmt.Errorf("aimes: WithWorkerAddr(%q) needs a shared secret: pass WithWorkerSecret, set $AIMES_WORKER_SECRET, or point $AIMES_WORKER_SECRET_FILE at a file holding the value the worker host serves with", o.workerAddr)
-			}
-		case o.workerCmd == nil:
-			argv, err := resolveWorkerCommand()
-			if err != nil {
-				return nil, err
-			}
-			o.workerCmd = argv
+		var err error
+		if pcfg, err = buildPoolConfig(&o); err != nil {
+			return nil, err
 		}
 	}
 	n := o.shards
@@ -689,6 +766,13 @@ func NewEnv(opts ...Option) (*Environment, error) {
 		resources: names,
 		steal:     o.steal && n > 1, // a single shard has no peers to steal from
 		agg:       trace.NewRecorder(),
+	}
+	if o.kind == BackendWorker {
+		pool, err := backend.NewPool(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		env.pool = pool
 	}
 	for k := 0; k < n; k++ {
 		sh, err := env.newShard(k, &o)
@@ -751,20 +835,14 @@ func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 	}
 	switch o.kind {
 	case BackendWorker:
-		var tr backend.Transport
-		if o.workerAddr != "" {
-			tr = &backend.TCPTransport{Addr: o.workerAddr, Secret: o.workerSecret}
-		} else {
-			tr = &backend.ProcessTransport{Argv: o.workerCmd}
-		}
-		opt := backend.WorkerOptions{Codec: o.wireCodec, MaxFrame: o.maxFrame}
-		w, err := backend.Connect(tr, opt, cfg, sh, func(cause error) {
+		w, err := e.pool.Dial(k, cfg, sh, func(cause error) {
 			e.shardDied(sh, cause)
 		})
 		if err != nil {
 			return nil, err
 		}
 		sh.be = w
+		sh.wcfg = cfg
 		sh.steppable = true
 		// A worker shard pumps in much larger batches than a local one:
 		// every batch is a wire round trip (encode, two pipe or socket
@@ -788,6 +866,88 @@ func (e *Environment) newShard(k int, o *envOptions) (*shardEnv, error) {
 		sh.quiet = q
 	}
 	return sh, nil
+}
+
+// buildPoolConfig turns the worker options — WithWorkerPool, or the legacy
+// single-endpoint options acting as shims over it — into the fleet
+// configuration the backend pool dials from. The legacy options configure
+// exactly one endpoint with MaxRestarts 0, preserving the pre-fleet crash
+// contract (a dead worker terminally fails its shard's jobs).
+func buildPoolConfig(o *envOptions) (backend.PoolConfig, error) {
+	cfg := backend.PoolConfig{
+		Options: backend.WorkerOptions{Codec: o.wireCodec, MaxFrame: o.maxFrame},
+	}
+	p := o.pool
+	if p == nil {
+		p = &WorkerPool{Command: o.workerCmd}
+		if o.workerAddr != "" {
+			p.Endpoints = []WorkerEndpoint{{Addr: o.workerAddr}}
+		}
+	} else if o.workerAddr != "" || o.workerCmd != nil {
+		return cfg, fmt.Errorf("aimes: WithWorkerPool combined with WithWorkerAddr/WithWorkerCommand is ambiguous: put every endpoint and command in the pool")
+	}
+	cfg.MaxRestarts, cfg.HealthInterval = p.MaxRestarts, p.HealthInterval
+	if cfg.MaxRestarts < 0 {
+		return cfg, fmt.Errorf("aimes: WorkerPool.MaxRestarts %d is negative", p.MaxRestarts)
+	}
+
+	eps := p.Endpoints
+	if len(eps) == 0 {
+		eps = []WorkerEndpoint{{Command: p.Command}}
+	}
+	secret := p.Secret
+	if secret == "" {
+		secret = o.workerSecret
+	}
+	needsSecret := false
+	for _, ep := range eps {
+		if ep.Addr != "" {
+			needsSecret = true
+		}
+	}
+	if needsSecret && secret == "" {
+		secret = os.Getenv("AIMES_WORKER_SECRET")
+		if secret == "" {
+			// Same file fallback the worker host honours, so neither side
+			// of the handshake needs the secret in its environment listing.
+			if path := os.Getenv("AIMES_WORKER_SECRET_FILE"); path != "" {
+				b, err := os.ReadFile(path)
+				if err != nil {
+					return cfg, fmt.Errorf("aimes: reading $AIMES_WORKER_SECRET_FILE: %w", err)
+				}
+				secret = strings.TrimSpace(string(b))
+			}
+		}
+		if secret == "" {
+			return cfg, fmt.Errorf("aimes: a TCP worker endpoint needs a shared secret: set WorkerPool.Secret, pass WithWorkerSecret, set $AIMES_WORKER_SECRET, or point $AIMES_WORKER_SECRET_FILE at a file holding the value the worker host serves with")
+		}
+	}
+
+	// The default process command resolves once and is shared, so a fleet
+	// of process endpoints does not repeat the $PATH walk per endpoint.
+	var defaultArgv []string
+	for _, ep := range eps {
+		be := backend.Endpoint{Name: ep.Name, Addr: ep.Addr, Secret: secret}
+		if ep.Addr == "" {
+			argv := ep.Command
+			if argv == nil {
+				argv = p.Command
+			}
+			if argv == nil {
+				if defaultArgv == nil {
+					a, err := resolveWorkerCommand()
+					if err != nil {
+						return cfg, err
+					}
+					defaultArgv = a
+				}
+				argv = defaultArgv
+			}
+			be.Argv = argv
+		}
+		cfg.Endpoints = append(cfg.Endpoints, be)
+	}
+	return cfg, nil
 }
 
 // resolveWorkerCommand finds the worker executable when WithWorkerCommand
@@ -860,12 +1020,20 @@ func (e *Environment) Shards() int { return len(e.shards) }
 func (e *Environment) Backend() BackendKind { return e.kind }
 
 // Close releases the environment's backends: a no-op for local shards, an
-// orderly shutdown of the child processes for worker shards. Jobs still
-// running on worker shards fail as their workers exit. Close is idempotent;
-// environments on the local backend need not call it.
+// orderly shutdown of the worker fleet — probers stop, every live session
+// closes — for worker shards. Jobs still running on worker shards fail as
+// their workers exit. Close is idempotent; environments on the local
+// backend need not call it.
 func (e *Environment) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if e.pool != nil {
+		// Worker environments close through the fleet manager, which owns
+		// every live session: a respawn can swap a shard's backend under
+		// the shard lock, so the pool — not a racy sh.be walk — is the one
+		// place that knows the current worker set.
+		return e.pool.Close()
 	}
 	var first error
 	for _, sh := range e.shards {
@@ -921,11 +1089,12 @@ func (e *Environment) Draining() bool { return e.draining.Load() }
 
 // ShardLoad is one shard's point-in-time load snapshot (see Loads).
 type ShardLoad struct {
-	Shard   int     // shard index
-	Running int     // enacted, unfinished jobs
-	Queued  int     // submitted jobs awaiting admission (work stealing only)
-	Load    float64 // weighted effective load: estimated seconds to drain
-	Window  int     // current admission window (0 without work stealing)
+	Shard    int     // shard index
+	Running  int     // enacted, unfinished jobs
+	Queued   int     // submitted jobs awaiting admission (work stealing only)
+	Load     float64 // weighted effective load: estimated seconds to drain
+	Window   int     // current admission window (0 without work stealing)
+	Restarts int     // worker respawns for this shard (0 on the local backend)
 }
 
 // Loads snapshots every shard's queue depth, running-job count, admission
@@ -946,6 +1115,7 @@ func (e *Environment) Loads() []ShardLoad {
 		if e.steal {
 			out[k].Window = int(sh.lastWindow.Load())
 		}
+		out[k].Restarts = int(sh.restarts.Load())
 		sh.sync(func() {
 			out[k].Running = sh.running
 			out[k].Queued = len(sh.queue)
@@ -954,24 +1124,115 @@ func (e *Environment) Loads() []ShardLoad {
 	return out
 }
 
-// KillWorker terminates shard k's worker process immediately — a chaos hook
-// for testing crash handling. The shard's jobs fail with a descriptive
-// error; other shards keep running. It errors on local shards and
-// out-of-range indices.
+// EndpointStatus is one fleet endpoint's externally visible state (see
+// Fleet).
+type EndpointStatus = backend.EndpointStatus
+
+// FleetStats is a point-in-time snapshot of the worker fleet's lifecycle
+// activity (zero values on the local backend).
+type FleetStats struct {
+	// Restarts counts worker respawns placed across the fleet since the
+	// environment was created.
+	Restarts int
+	// Replayed counts queued (never-enacted) descriptors re-admitted onto
+	// respawned workers.
+	Replayed int64
+	// Endpoints is per-endpoint fleet state: cordons, health, live shards,
+	// respawns placed, cumulative probe failures. Nil on the local
+	// backend.
+	Endpoints []EndpointStatus
+}
+
+// Fleet snapshots the worker fleet's lifecycle state — respawns, replayed
+// jobs, per-endpoint health and cordons. On the local backend it returns
+// the zero FleetStats.
+func (e *Environment) Fleet() FleetStats {
+	if e.pool == nil {
+		return FleetStats{}
+	}
+	ps := e.pool.Stats()
+	return FleetStats{
+		Restarts:  ps.Restarts,
+		Replayed:  e.replayed.Load(),
+		Endpoints: ps.Endpoints,
+	}
+}
+
+// CordonEndpoint marks the named fleet endpoint ineligible for new
+// placements: shards already running there keep running, but respawns and
+// failovers skip it. Errors on the local backend or an unknown name.
+func (e *Environment) CordonEndpoint(name string) error {
+	if e.pool == nil {
+		return fmt.Errorf("aimes: no worker fleet to cordon on the local backend")
+	}
+	return e.pool.Cordon(name)
+}
+
+// UncordonEndpoint reverses CordonEndpoint.
+func (e *Environment) UncordonEndpoint(name string) error {
+	if e.pool == nil {
+		return fmt.Errorf("aimes: no worker fleet to uncordon on the local backend")
+	}
+	return e.pool.Uncordon(name)
+}
+
+// DrainEndpoint cordons the named endpoint and severs every worker it
+// hosts. Each severed shard recovers exactly as from a crash: within the
+// restart budget its queued descriptors replay on a respawn placed
+// elsewhere in the fleet, while its enacted jobs fail — their engine state
+// lived on the drained endpoint and cannot be reconstructed.
+func (e *Environment) DrainEndpoint(name string) error {
+	if e.pool == nil {
+		return fmt.Errorf("aimes: no worker fleet to drain on the local backend")
+	}
+	return e.pool.Drain(name)
+}
+
+// KillWorker severs shard k's worker connection immediately — the chaos
+// hook for exercising the fleet's failure paths. What happens next depends
+// on the environment's restart budget (WorkerPool.MaxRestarts):
+//
+//   - With restarts remaining, the kill triggers a live respawn, not a
+//     terminal shard failure: a replacement worker is dialed with the same
+//     shard seed, the shard's queued (never-enacted, descriptor-only) jobs
+//     are replayed onto it in order, and only the jobs that were already
+//     enacted fail — their pilots and events live in the dead worker's
+//     engine and cannot be reconstructed. That enacted-jobs-still-fail
+//     contract holds on every respawn.
+//   - With the budget spent (or MaxRestarts 0, which every legacy
+//     single-endpoint option configures), the shard fails terminally: all
+//     its jobs — queued and enacted — fail with a descriptive error, and
+//     other shards keep running. This is the pre-fleet containment
+//     behavior.
+//
+// A killed child process trips the transport watcher at once; a killed TCP
+// connection surfaces on the shard's next wire operation or liveness
+// probe. KillWorker errors on local shards and out-of-range indices.
 func (e *Environment) KillWorker(k int) error {
 	if k < 0 || k >= len(e.shards) {
 		return fmt.Errorf("aimes: shard %d out of range [0,%d)", k, len(e.shards))
 	}
-	w, ok := e.shards[k].be.(*backend.Worker)
-	if !ok {
+	if e.pool == nil {
 		return fmt.Errorf("aimes: shard %d runs on the local backend; only worker shards can be killed", k)
 	}
-	return w.Kill()
+	return e.pool.Kill(k)
 }
 
-// shardDied fails every job a dead shard still owns — queued or enacted —
-// with the crash cause, so waiters get errors instead of hangs. Jobs on
-// other shards are untouched. It runs from the worker watcher goroutine.
+// shardDied is the worker death handler, run once per dead session (from
+// the transport watcher, a failed call's notification goroutine, or a
+// failed liveness probe — the session funnels them into one notification).
+//
+// Under the shard's serialization it fails every ENACTED job the shard
+// still owns — their engine state died with the worker and cannot be
+// reconstructed — and then, if the fleet's restart budget allows, respawns
+// the worker with the identical per-shard seed and replays the queued
+// (never-enacted, descriptor-only) jobs through the ordinary admission
+// machinery: a replayed descriptor enacts on the fresh stack exactly as a
+// first submission on a fresh shard would, preserving the per-shard
+// determinism contract. When no respawn is possible — budget spent, every
+// endpoint cordoned or unreachable, environment closing — the queued jobs
+// fail too, which is the pre-fleet contained-failure behavior. Jobs on
+// other shards are untouched either way.
 func (e *Environment) shardDied(sh *shardEnv, cause error) {
 	sh.sync(func() {
 		jobs := make([]*Job, 0, len(sh.jobs))
@@ -980,15 +1241,53 @@ func (e *Environment) shardDied(sh *shardEnv, cause error) {
 		}
 		// Deterministic failure order (map iteration is not).
 		sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+
+		// Hold admission shut while the enacted jobs fail: each completion
+		// re-enters admitNextLocked, which must not enact queued jobs —
+		// the replay candidates — against the dead backend.
+		sh.admitting = true
 		for _, j := range jobs {
 			if j.sh.Load() != sh {
 				continue // mid-handoff; the migrator owns it now
 			}
-			if JobState(j.state.Load()) == JobQueued && sh.removeQueued(j) && j.migratable {
-				e.stealer.NoteQueued(sh.id, -1)
+			if JobState(j.state.Load()) == JobQueued {
+				continue // descriptor-only: a respawn can replay it
 			}
 			j.complete(nil, fmt.Errorf("aimes: shard s%d: %v", sh.id, cause))
 		}
+
+		var w *backend.Worker
+		err := fmt.Errorf("environment closing")
+		if e.pool != nil && !e.closed.Load() {
+			w, err = e.pool.Respawn(sh.id, sh.wcfg, sh, func(cause error) {
+				e.shardDied(sh, cause)
+			})
+		}
+		if err != nil {
+			// Terminal: no replacement worker, so the queued jobs fail with
+			// the original crash cause — the contained failure the legacy
+			// single-endpoint options (MaxRestarts 0) always produce.
+			for _, j := range jobs {
+				if j.sh.Load() != sh || JobState(j.state.Load()) != JobQueued {
+					continue
+				}
+				if sh.removeQueued(j) && j.migratable {
+					e.stealer.NoteQueued(sh.id, -1)
+				}
+				j.complete(nil, fmt.Errorf("aimes: shard s%d: %v", sh.id, cause))
+			}
+			sh.admitting = false
+			return
+		}
+
+		// The replacement runs the identical stack from the identical seed:
+		// swap it in and replay the queue FIFO through normal admission.
+		sh.be = w
+		sh.quiet = w
+		sh.restarts.Add(1)
+		e.replayed.Add(int64(len(sh.queue)))
+		sh.admitting = false
+		e.admitNextLocked(sh)
 	})
 }
 

@@ -56,9 +56,12 @@ func main() {
 
 		workers          = flag.Int("workers", 0, "run N shards as self-hosted worker processes (0 = in-process local backend)")
 		workerAddr       = flag.String("worker-addr", "", "dial a TCP worker host (aimes-worker serve) instead of local shards")
-		workerSecret     = flag.String("worker-secret", "", "shared handshake secret for -worker-addr (prefer -worker-secret-file)")
-		workerSecretFile = flag.String("worker-secret-file", "", "file holding the -worker-addr handshake secret")
+		workerEndpoints  = flag.String("worker-endpoints", "", "comma-separated TCP worker hosts forming a fleet; shards spread across them round-robin (overrides -worker-addr)")
+		workerSecret     = flag.String("worker-secret", "", "shared handshake secret for TCP worker hosts (prefer -worker-secret-file)")
+		workerSecretFile = flag.String("worker-secret-file", "", "file holding the TCP worker handshake secret")
 		wireCodec        = flag.String("wire-codec", "", "worker wire codec: json, binary, or empty for negotiated")
+		maxRestarts      = flag.Int("max-restarts", 0, "per-shard worker respawn budget: a dead worker is redialed with the same shard seed and its queued jobs replayed (0 = a dead worker terminally fails its shard's jobs)")
+		healthInterval   = flag.Duration("health-interval", 0, "worker liveness-probe period, e.g. 2s (0 = probe only on use)")
 
 		maxInflight = flag.Int("max-inflight", 0, "default per-tenant max in-flight jobs (0 = unlimited)")
 		maxQueued   = flag.Int("max-queued", 0, "default per-tenant max queued descriptors (0 = unlimited)")
@@ -94,22 +97,47 @@ func main() {
 	if *wireCodec != "" {
 		opts = append(opts, aimes.WithWireCodec(*wireCodec))
 	}
-	switch {
-	case *workerAddr != "":
-		opts = append(opts, aimes.WithWorkerAddr(*workerAddr))
-		secret := *workerSecret
-		if secret == "" && *workerSecretFile != "" {
-			b, err := os.ReadFile(*workerSecretFile)
-			if err != nil {
-				fail("reading -worker-secret-file: %v", err)
-			}
-			secret = strings.TrimSpace(string(b))
+	secret := *workerSecret
+	if secret == "" && *workerSecretFile != "" {
+		b, err := os.ReadFile(*workerSecretFile)
+		if err != nil {
+			fail("reading -worker-secret-file: %v", err)
 		}
-		if secret != "" {
-			opts = append(opts, aimes.WithWorkerSecret(secret))
-		} // else NewEnv falls back to $AIMES_WORKER_SECRET{,_FILE}
+		secret = strings.TrimSpace(string(b))
+	} // empty falls back to $AIMES_WORKER_SECRET{,_FILE} inside NewEnv
+	switch {
+	case *workerEndpoints != "":
+		pool := aimes.WorkerPool{
+			Secret:         secret,
+			MaxRestarts:    *maxRestarts,
+			HealthInterval: *healthInterval,
+		}
+		for _, a := range strings.Split(*workerEndpoints, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				pool.Endpoints = append(pool.Endpoints, aimes.WorkerEndpoint{Addr: a})
+			}
+		}
+		if len(pool.Endpoints) == 0 {
+			fail("-worker-endpoints %q names no endpoints", *workerEndpoints)
+		}
+		opts = append(opts, aimes.WithWorkerPool(pool))
+	case *workerAddr != "":
+		opts = append(opts, aimes.WithWorkerPool(aimes.WorkerPool{
+			Endpoints:      []aimes.WorkerEndpoint{{Addr: *workerAddr}},
+			Secret:         secret,
+			MaxRestarts:    *maxRestarts,
+			HealthInterval: *healthInterval,
+		}))
 	case *workers > 0:
 		opts = append(opts, aimes.WithWorkers(*workers))
+		if *maxRestarts > 0 || *healthInterval > 0 {
+			// Self-hosted process workers get the fleet lifecycle too: an
+			// empty endpoint list means one process-mode endpoint.
+			opts = append(opts, aimes.WithWorkerPool(aimes.WorkerPool{
+				MaxRestarts:    *maxRestarts,
+				HealthInterval: *healthInterval,
+			}))
+		}
 	}
 
 	env, err := aimes.NewEnv(opts...)

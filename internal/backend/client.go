@@ -267,3 +267,27 @@ func (w *Worker) Close() error {
 // spontaneous crash; a killed TCP connection surfaces on the shard's next
 // wire operation, which notifies the same callback in-band.
 func (w *Worker) Kill() error { return w.s.conn.Kill() }
+
+// Dead reports whether the worker's session has failed. Once true it stays
+// true — a dead session never recovers; the fleet layer replaces the whole
+// Worker. The admission and migration paths consult it so queued descriptors
+// are parked for replay instead of being enacted into a broken wire.
+func (w *Worker) Dead() bool { return w.s.deadErr() != nil }
+
+// Ping performs one liveness round trip over the session — the health
+// prober's probe. It bypasses call: a ping response never carries events
+// (the host answers it without touching the engine), so there is nothing to
+// dispatch, and the prober goroutine must not replay events outside the
+// shard's serialization. Concurrency is safe — the session serializes the
+// wire — and a broken connection surfaces here exactly as on any other
+// exchange: the session goes dead and the death callback fires once.
+//
+// A pre-negotiation worker that answers "unknown operation" still proves
+// liveness, so an Err response is not a ping failure.
+func (w *Worker) Ping() error {
+	var resp response
+	if err := w.s.exchange(&request{Op: opPing}, &resp); err != nil {
+		return err
+	}
+	return nil
+}

@@ -60,7 +60,7 @@ func (c *binaryCodec) intern(b []byte) string {
 // string fallback so an op outside the table still round-trips.
 var opCodes = map[string]byte{
 	opInit: 1, opEnact: 2, opStep: 3, opCancel: 4, opIncomplete: 5,
-	opFeedback: 6, opDerive: 7, opAppSeed: 8, opClose: 9,
+	opFeedback: 6, opDerive: 7, opAppSeed: 8, opClose: 9, opPing: 10,
 }
 
 var opNames = func() map[byte]string {

@@ -131,6 +131,16 @@ func (s *session) exchange(req *request, resp *response) error {
 	return err
 }
 
+// deadErr reports the sticky dead-session error, nil while the wire is
+// healthy. It is the fleet layer's cheap liveness witness: a non-nil result
+// means the death callback has run (or is about to), so callers can route
+// work away from this session without risking another doomed exchange.
+func (s *session) deadErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
 // use switches the session's codec — once, between the init exchange and
 // the first regular call, on the name the worker echoed.
 func (s *session) use(c codec) {

@@ -96,6 +96,7 @@ const (
 	opDerive     = "derive"
 	opAppSeed    = "appseed"
 	opClose      = "close"
+	opPing       = "ping"
 )
 
 // request is one parent→worker frame.

@@ -109,6 +109,10 @@ func (h *host) run() error {
 			next = h.handleInit(&req, &resp)
 		case opClose:
 			closing = true
+		case opPing:
+			// Liveness probe: answered before and after init, touching no
+			// engine state and producing no events — the response itself is
+			// the proof of life the fleet prober wants.
 		default:
 			h.handleOp(&req, &resp)
 		}

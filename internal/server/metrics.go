@@ -170,6 +170,34 @@ func (m *metrics) render(w io.Writer, env *aimes.Environment, inflight map[strin
 	fmt.Fprintf(w, "# HELP aimes_steal_migrations_total Queued jobs migrated across shards by work stealing.\n# TYPE aimes_steal_migrations_total counter\naimes_steal_migrations_total %d\n", steal.Migrations)
 	fmt.Fprintf(w, "# HELP aimes_steal_foreign_pumps_total Pump batches run on behalf of other shards' jobs.\n# TYPE aimes_steal_foreign_pumps_total counter\naimes_steal_foreign_pumps_total %d\n", steal.ForeignPumps)
 
+	fleet := env.Fleet()
+	fmt.Fprintf(w, "# HELP aimes_worker_restarts_total Worker respawns placed across the fleet.\n# TYPE aimes_worker_restarts_total counter\naimes_worker_restarts_total %d\n", fleet.Restarts)
+	fmt.Fprintf(w, "# HELP aimes_jobs_replayed_total Queued descriptors replayed onto respawned workers.\n# TYPE aimes_jobs_replayed_total counter\naimes_jobs_replayed_total %d\n", fleet.Replayed)
+	if len(fleet.Endpoints) > 0 {
+		bit := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(w, "# HELP aimes_endpoint_unhealthy Whether the fleet endpoint's last dial or liveness probe failed.\n# TYPE aimes_endpoint_unhealthy gauge\n")
+		for _, ep := range fleet.Endpoints {
+			fmt.Fprintf(w, "aimes_endpoint_unhealthy{endpoint=\"%s\"} %d\n", labelEscape(ep.Name), bit(ep.Unhealthy))
+		}
+		fmt.Fprintf(w, "# HELP aimes_endpoint_cordoned Whether the fleet endpoint is cordoned against placements.\n# TYPE aimes_endpoint_cordoned gauge\n")
+		for _, ep := range fleet.Endpoints {
+			fmt.Fprintf(w, "aimes_endpoint_cordoned{endpoint=\"%s\"} %d\n", labelEscape(ep.Name), bit(ep.Cordoned))
+		}
+		fmt.Fprintf(w, "# HELP aimes_endpoint_shards Live worker shards hosted per fleet endpoint.\n# TYPE aimes_endpoint_shards gauge\n")
+		for _, ep := range fleet.Endpoints {
+			fmt.Fprintf(w, "aimes_endpoint_shards{endpoint=\"%s\"} %d\n", labelEscape(ep.Name), ep.Shards)
+		}
+		fmt.Fprintf(w, "# HELP aimes_endpoint_probe_failures_total Failed liveness probes per fleet endpoint.\n# TYPE aimes_endpoint_probe_failures_total counter\n")
+		for _, ep := range fleet.Endpoints {
+			fmt.Fprintf(w, "aimes_endpoint_probe_failures_total{endpoint=\"%s\"} %d\n", labelEscape(ep.Name), ep.ProbeFailures)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP aimes_sse_dropped_total Events lost to SSE subscribers (replay-ring gaps and slow consumers), by stream kind.\n# TYPE aimes_sse_dropped_total counter\n")
 	fmt.Fprintf(w, "aimes_sse_dropped_total{stream=\"job\"} %d\n", jobDropped)
 	fmt.Fprintf(w, "aimes_sse_dropped_total{stream=\"env\"} %d\n", envDropped)

@@ -307,7 +307,7 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 			e.stealer.Seal(sh.id)
 		}
 		sh.jobs[j.id] = j
-		if e.steal && (sh.running >= e.windowFor(sh) || len(sh.queue) > 0) {
+		if e.steal && (sh.running >= e.windowFor(sh) || len(sh.queue) > 0 || e.respawnPending(sh)) {
 			sh.queue = append(sh.queue, j)
 			j.state.Store(int32(JobQueued))
 			if j.migratable {
@@ -394,12 +394,47 @@ func (e *Environment) enactLocked(sh *shardEnv, j *Job) error {
 	return nil
 }
 
+// backendDead reports whether sh's backend session has failed (worker
+// backends only; a local backend never dies). A dead backend's queued jobs
+// are replay candidates for the fleet's respawn path and must not be
+// enacted — or failed — against the corpse.
+func backendDead(be backend.Backend) bool {
+	d, ok := be.(interface{ Dead() bool })
+	return ok && d.Dead()
+}
+
+// respawnPending reports whether sh's worker is dead with restart budget
+// remaining — i.e. the death handler will (or is about to) replace it and
+// replay the queue, so admission paths should queue rather than enact.
+func (e *Environment) respawnPending(sh *shardEnv) bool {
+	return e.pool != nil && backendDead(sh.be) && e.pool.CanRespawn(sh.id)
+}
+
+// replayableLocked reports whether a queued job on sh should be left in
+// the queue despite a failed step: either the backend was already swapped
+// for a live replacement (retry the pump), or it is dead with restart
+// budget remaining (the death handler will replay the queue). Runs under
+// sh's engine serialization.
+func (e *Environment) replayableLocked(sh *shardEnv) bool {
+	if e.pool == nil {
+		return false
+	}
+	return !backendDead(sh.be) || e.pool.CanRespawn(sh.id)
+}
+
 // admitNextLocked enacts queued jobs while the admission window has room. It
 // runs under sh's engine serialization; the admitting flag makes it
 // reentrancy-safe, because enacting or failing a job can complete other
 // jobs, and completions re-enter here.
 func (e *Environment) admitNextLocked(sh *shardEnv) {
 	if !e.steal || sh.admitting {
+		return
+	}
+	if backendDead(sh.be) {
+		// The queue holds replay candidates: the death handler either
+		// re-enacts them on a respawned worker (same shard seed) or fails
+		// them when the restart budget is spent. Enacting them here would
+		// charge them to the corpse.
 		return
 	}
 	sh.admitting = true
@@ -535,7 +570,7 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 			j.complete(core.CanceledReport(j.w), nil)
 			return
 		}
-		if dest.running < e.windowFor(dest) && len(dest.queue) == 0 {
+		if dest.running < e.windowFor(dest) && len(dest.queue) == 0 && !backendDead(dest.be) {
 			if err := e.enactLocked(dest, j); err != nil {
 				j.complete(nil, err)
 			}
@@ -977,14 +1012,23 @@ func (sh *shardEnv) pump(j *Job) (stalled bool) {
 		var err error
 		_, drained, err = sh.stepBatch()
 		if err != nil {
-			// The backend is gone (a worker crash mid-step): fail this job
-			// with the cause — unlinking it from the admission queue first
-			// if it never enacted, so the dead shard's stealable-work count
+			// The backend is gone (a worker crash mid-step). A still-queued
+			// job is a pure descriptor: when the fleet can respawn the
+			// worker — or already has — leave it queued for replay on the
+			// replacement (same shard seed) and let the next Wait iteration
+			// pump the fresh backend. Otherwise fail this job with the
+			// cause — unlinking it from the admission queue first if it
+			// never enacted, so the dead shard's stealable-work count
 			// doesn't stay positive forever. The death handler fails the
 			// shard's other jobs; their waiters observe it on their own
 			// next pump.
-			if JobState(j.state.Load()) == JobQueued && sh.removeQueued(j) && j.migratable {
-				e.stealer.NoteQueued(sh.id, -1)
+			if JobState(j.state.Load()) == JobQueued {
+				if e.replayableLocked(sh) {
+					return false
+				}
+				if sh.removeQueued(j) && j.migratable {
+					e.stealer.NoteQueued(sh.id, -1)
+				}
 			}
 			j.complete(nil, fmt.Errorf("aimes: shard s%d: %w", sh.id, err))
 			return false
