@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios smoke worker-smoke worker-tcp-smoke server-smoke fleet-smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios scenario-matrix smoke worker-smoke worker-tcp-smoke server-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ scenarios: build
 	done
 	$(GO) run ./cmd/aimes-scenario run examples/scenarios/outage.json
 
+# CI gate over the scenario corpus: every example scenario runs with
+# `run -assert` on both the local and the worker backend, and the
+# deliberately failing fixture must fail naming its assertion index
+# (see scripts/scenario_matrix.sh).
+scenario-matrix:
+	./scripts/scenario_matrix.sh
+
 # Smoke-run every example program under a timeout.
 smoke:
 	@for d in examples/*/; do \
@@ -98,4 +105,4 @@ server-smoke:
 fleet-smoke:
 	timeout 300 ./scripts/fleet_smoke.sh
 
-ci: lint race bench-check scenarios worker-smoke worker-tcp-smoke server-smoke fleet-smoke
+ci: lint race bench-check scenarios scenario-matrix worker-smoke worker-tcp-smoke server-smoke fleet-smoke

@@ -1208,6 +1208,33 @@ func (e *Environment) DrainEndpoint(name string) error {
 // A killed child process trips the transport watcher at once; a killed TCP
 // connection surfaces on the shard's next wire operation or liveness
 // probe. KillWorker errors on local shards and out-of-range indices.
+// ChaosEvent is one scheduled fault injection against a shard's simulation
+// stack — see the backend package for the action vocabulary (site outages,
+// queue surges, pilot preemption, WAN degradation, kill-worker).
+type ChaosEvent = backend.ChaosEvent
+
+// InjectChaos schedules a fault on shard k, ev.After from the shard's
+// current virtual time. It works on local and worker shards alike (the
+// event crosses the wire for worker shards), except kill-worker, which only
+// worker-hosted shards accept. Faults injected before the affected jobs are
+// submitted land at deterministic trajectory points.
+func (e *Environment) InjectChaos(k int, ev ChaosEvent) error {
+	if k < 0 || k >= len(e.shards) {
+		return fmt.Errorf("aimes: shard %d out of range [0,%d)", k, len(e.shards))
+	}
+	sh := e.shards[k]
+	var err error
+	sh.sync(func() {
+		inj, ok := sh.be.(backend.Injector)
+		if !ok {
+			err = fmt.Errorf("aimes: shard %d backend does not support chaos injection", k)
+			return
+		}
+		err = inj.Inject(ev)
+	})
+	return err
+}
+
 func (e *Environment) KillWorker(k int) error {
 	if k < 0 || k >= len(e.shards) {
 		return fmt.Errorf("aimes: shard %d out of range [0,%d)", k, len(e.shards))

@@ -1,11 +1,13 @@
 // Command aimes-scenario runs declarative dynamics scenarios against the
 // simulated AIMES stack: a scenario file names a workload, an execution
-// strategy, a testbed, and a timeline of injected resource events (outages,
-// recoveries, queue surges, pilot preemptions, WAN degradation).
+// strategy, a testbed, a timeline of injected resource and fleet events
+// (outages, recoveries, queue surges, pilot preemptions, WAN degradation
+// and flapping, worker kills, endpoint cordons and drains), and a set of
+// post-run assertions that turn the scenario into a test case.
 //
 // Usage:
 //
-//	aimes-scenario run examples/scenarios/outage.json [-v] [-seed N] [-trace out.csv]
+//	aimes-scenario run examples/scenarios/outage.json [-v] [-assert] [-backend local|worker] [-seed N] [-trace out.csv]
 //	aimes-scenario validate examples/scenarios/outage.json
 package main
 
@@ -14,10 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"aimes"
 	"aimes/internal/scenario"
 )
 
 func main() {
+	// When re-executed as a worker child ($AIMES_WORKER_PROCESS), serve the
+	// worker protocol instead of parsing scenario arguments.
+	aimes.WorkerMain()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -45,11 +51,19 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  aimes-scenario run <scenario.json> [-v] [-seed N] [-trace out.csv]
+  aimes-scenario run <scenario.json> [-v] [-assert] [-backend local|worker] [-seed N] [-trace out.csv]
   aimes-scenario validate <scenario.json>
 
 run      executes the scenario and prints the instrumented report
-validate parses and checks the scenario file without running it`)
+validate parses and checks the scenario file without running it,
+         reporting every problem found (exit 1 when invalid)
+
+run flags:
+  -assert   evaluate the scenario's assertions; exit 1 listing each
+            failed assertion by index with observed vs expected values
+  -backend  shard backend: "local" (in-process, the default) or "worker"
+            (child worker processes); fleet scenarios always run on the
+            worker backend`)
 }
 
 // parseWithFile parses flags that may appear before or after the single
@@ -90,19 +104,24 @@ func validateCmd(args []string) error {
 	}
 	s, err := load(path)
 	if err != nil {
+		// Parse validates after decoding; the joined error already carries
+		// one line per problem, each naming the scenario and the event or
+		// assertion index.
 		return err
 	}
-	fmt.Printf("%s: valid (%d tasks, %s binding, %d event(s))\n",
-		s.Name, s.Workload.Tasks, s.Strategy.Binding, len(s.Events))
+	fmt.Printf("%s: valid (%d tasks, %s binding, %d event(s), %d assertion(s))\n",
+		s.Name, s.Workload.Tasks, s.Strategy.Binding, len(s.Events), len(s.Assertions))
 	return nil
 }
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		verbose  = fs.Bool("v", false, "print the derived strategy before the report")
-		seed     = fs.Int64("seed", 0, "override the scenario seed")
-		traceOut = fs.String("trace", "", "write the full state trace as CSV to this file")
+		verbose   = fs.Bool("v", false, "print the derived strategy before the report")
+		seed      = fs.Int64("seed", 0, "override the scenario seed")
+		traceOut  = fs.String("trace", "", "write the full state trace as CSV to this file")
+		doAssert  = fs.Bool("assert", false, "evaluate the scenario's assertions and fail on any unmet one")
+		backendFl = fs.String("backend", "local", `shard backend: "local" or "worker"`)
 	)
 	path, err := parseWithFile(fs, "run", args)
 	if err != nil {
@@ -115,15 +134,32 @@ func runCmd(args []string) error {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
-	res, err := scenario.Run(s)
-	if err != nil {
-		return err
-	}
-	if *verbose {
-		fmt.Printf("derived: %s\n", res.Strategy)
-	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
-		return err
+
+	// Fleet scenarios and explicit -backend worker go through the full
+	// environment (worker processes, fleet lifecycle); everything else runs
+	// on the direct single-stack path.
+	var out *scenario.Outcome
+	if s.Fleet != nil || *backendFl == "worker" {
+		o, err := scenario.RunEnv(s, scenario.EnvOptions{Backend: "worker"})
+		if err != nil {
+			return err
+		}
+		out = o
+		if err := writeOutcome(o, *verbose); err != nil {
+			return err
+		}
+	} else {
+		res, err := scenario.Run(s)
+		if err != nil {
+			return err
+		}
+		out = res.Outcome()
+		if *verbose {
+			fmt.Printf("derived: %s\n", res.Strategy)
+		}
+		if err := res.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -131,10 +167,58 @@ func runCmd(args []string) error {
 			return err
 		}
 		defer f.Close()
-		if err := res.Recorder.WriteCSV(f); err != nil {
+		if err := out.Recorder.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d records written to %s\n", res.Recorder.Len(), *traceOut)
+		fmt.Printf("trace: %d records written to %s\n", out.Recorder.Len(), *traceOut)
 	}
+	if *doAssert {
+		if err := out.Assert(); err != nil {
+			return err
+		}
+		fmt.Printf("assertions: %d passed\n", len(s.Assertions))
+	}
+	return nil
+}
+
+// writeOutcome prints the environment-path summary: per-job outcomes, the
+// applied timeline, and the fleet accounting.
+func writeOutcome(o *scenario.Outcome, verbose bool) error {
+	fmt.Printf("scenario: %s (environment run, %d job(s))\n", o.Scenario.Name, len(o.Jobs))
+	if o.Scenario.Description != "" {
+		fmt.Printf("  %s\n", o.Scenario.Description)
+	}
+	if len(o.Applied) > 0 {
+		fmt.Println("events applied:")
+		for _, a := range o.Applied {
+			fmt.Printf("  %s\n", a)
+		}
+	}
+	done, failed, canceled := 0, 0, 0
+	for _, j := range o.Jobs {
+		switch j.State {
+		case "done":
+			done++
+		case "failed":
+			failed++
+		case "canceled":
+			canceled++
+		}
+	}
+	fmt.Printf("jobs: %d done, %d failed, %d canceled\n", done, failed, canceled)
+	if verbose {
+		for i, j := range o.Jobs {
+			if j.Report != nil {
+				fmt.Printf("job %d (%s): %d units done, TTC %s\n", i, j.State, j.Report.UnitsDone, j.Report.TTC)
+			} else {
+				fmt.Printf("job %d (%s): %s\n", i, j.State, j.Err)
+			}
+		}
+	}
+	if o.Scenario.Fleet != nil {
+		fmt.Printf("fleet: %d restart(s), %d replayed, %d cordoned, %d unhealthy\n",
+			o.Fleet.Restarts, o.Fleet.Replayed, o.Fleet.EndpointsCordoned, o.Fleet.EndpointsUnhealthy)
+	}
+	fmt.Printf("dynamics: %d pilot(s) lost, %d unit reschedule(s)\n", o.PilotsLost, o.Rescheduled)
 	return nil
 }

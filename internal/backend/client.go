@@ -191,6 +191,15 @@ func (w *Worker) Step(max int) (int, bool, error) {
 }
 
 // Cancel implements Backend.
+// Inject implements Injector: the chaos event crosses the wire and is
+// scheduled on the worker's engine. The injection schedules future engine
+// work, so the drained cache is invalidated like any other mutation.
+func (w *Worker) Inject(ev ChaosEvent) error {
+	w.drained.Store(false)
+	_, err := w.call(&request{Op: opInject, Chaos: &ev})
+	return err
+}
+
 func (w *Worker) Cancel(key int, reason string) error {
 	w.drained.Store(false)
 	_, err := w.call(&request{Op: opCancel, Key: key, Reason: reason})

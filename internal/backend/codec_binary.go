@@ -61,6 +61,7 @@ func (c *binaryCodec) intern(b []byte) string {
 var opCodes = map[string]byte{
 	opInit: 1, opEnact: 2, opStep: 3, opCancel: 4, opIncomplete: 5,
 	opFeedback: 6, opDerive: 7, opAppSeed: 8, opClose: 9, opPing: 10,
+	opInject: 11,
 }
 
 var opNames = func() map[byte]string {
@@ -78,6 +79,7 @@ const (
 	reqHasReport
 	reqHasWorkload
 	reqHasConfig
+	reqHasChaos
 )
 
 // Presence/flag bits for response fields.
@@ -136,6 +138,9 @@ func (c *binaryCodec) AppendRequest(dst []byte, req *request) ([]byte, error) {
 	if req.Config != nil {
 		bits |= reqHasConfig
 	}
+	if req.Chaos != nil {
+		bits |= reqHasChaos
+	}
 	dst = append(dst, bits)
 	dst = binary.AppendVarint(dst, int64(req.Max))
 	dst = binary.AppendVarint(dst, int64(req.Key))
@@ -150,6 +155,7 @@ func (c *binaryCodec) AppendRequest(dst []byte, req *request) ([]byte, error) {
 		{req.Report != nil, req.Report},
 		{req.Workload != nil, req.Workload},
 		{req.Config != nil, req.Config},
+		{req.Chaos != nil, req.Chaos},
 	} {
 		if !blob.present {
 			continue
@@ -195,6 +201,10 @@ func (c *binaryCodec) DecodeRequest(data []byte, req *request) error {
 	if bits&reqHasConfig != 0 {
 		req.Config = new(core.StrategyConfig)
 		r.json(req.Config)
+	}
+	if bits&reqHasChaos != 0 {
+		req.Chaos = new(ChaosEvent)
+		r.json(req.Chaos)
 	}
 	return r.finish()
 }

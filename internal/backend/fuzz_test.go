@@ -94,6 +94,10 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			req.Report = &core.Report{TTC: time.Duration(tns), UnitsDone: int(fired)}
 			req.Workload = w
 			req.Config = &core.StrategyConfig{Pilots: 3, AutoPilots: drained}
+			req.Chaos = &ChaosEvent{
+				After: time.Duration(tns), Action: ChaosSurge, Target: reason,
+				WaitFactor: float64(fired), Jobs: int(maxv), Duration: time.Duration(now),
+			}
 		}
 		jr := roundTripRequest(t, jsonCodec{}, req)
 		br := roundTripRequest(t, newBinaryCodec(), req)

@@ -39,6 +39,13 @@ type Local struct {
 
 	jobSeq int
 	execs  map[int]*core.Execution
+	// recs keeps each live job's recorder so injected chaos (chaos.go) can
+	// log applied faults into the job traces; surgeSeq numbers emergent
+	// surge jobs; sever, when set by a worker serve loop, cuts the hosting
+	// transport for the kill-worker action.
+	recs     map[int]*trace.Recorder
+	surgeSeq int
+	sever    func()
 }
 
 var _ Backend = (*Local)(nil)
@@ -84,6 +91,7 @@ func NewLocal(cfg Config, sink Sink) (*Local, error) {
 		rng:   rng,
 		sink:  sink,
 		execs: make(map[int]*core.Execution),
+		recs:  make(map[int]*trace.Recorder),
 	}
 	if st, ok := eng.(sim.Stepper); ok {
 		l.stepper = st
@@ -150,8 +158,10 @@ func (l *Local) Enact(d *Descriptor) (*Enacted, error) {
 	}
 	l.jobSeq++
 	l.execs[key] = exec
+	l.recs[key] = rec
 	exec.OnComplete(func(r *core.Report) {
 		delete(l.execs, key)
+		delete(l.recs, key)
 		l.sink.JobDone(key, r)
 	})
 	return &Enacted{Namespace: ns, Strategy: s}, nil

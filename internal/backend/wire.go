@@ -97,6 +97,7 @@ const (
 	opAppSeed    = "appseed"
 	opClose      = "close"
 	opPing       = "ping"
+	opInject     = "inject"
 )
 
 // request is one parent→worker frame.
@@ -112,6 +113,7 @@ type request struct {
 	Report   *core.Report         `json:"report,omitempty"`
 	Workload *skeleton.Workload   `json:"workload,omitempty"`
 	Config   *core.StrategyConfig `json:"strategy_config,omitempty"`
+	Chaos    *ChaosEvent          `json:"chaos,omitempty"`
 }
 
 // wireEvent is one ordered asynchronous output riding a response.

@@ -67,6 +67,7 @@ type host struct {
 	maxFrame int
 	sink     bufSink
 	local    *Local
+	sever    func()
 	wbuf     []byte
 	rbuf     []byte
 }
@@ -75,15 +76,30 @@ type host struct {
 // child half of the worker backend, on the parent's stdio pipes. It returns
 // nil on an orderly close or EOF (parent gone), an error on a protocol
 // violation.
-func Serve(r io.Reader, w io.Writer) error { return serveStream(r, w, 0) }
+func Serve(r io.Reader, w io.Writer) error { return serveStream(r, w, 0, severStreams(r, w)) }
 
-func serveStream(r io.Reader, w io.Writer, maxFrame int) error {
+// severStreams arms the kill-worker chaos action for a stream pair: closing
+// both ends makes the parent observe a dead worker and makes this serve
+// loop's next read or write fail, ending the session like a crash would.
+func severStreams(r io.Reader, w io.Writer) func() {
+	return func() {
+		if c, ok := w.(io.Closer); ok {
+			c.Close()
+		}
+		if c, ok := r.(io.Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+func serveStream(r io.Reader, w io.Writer, maxFrame int, sever func()) error {
 	h := &host{
 		in:       bufio.NewReaderSize(r, 1<<16),
 		out:      w,
 		cod:      jsonCodec{},
 		maxFrame: frameLimit(maxFrame),
 		wbuf:     make([]byte, 0, 4096),
+		sever:    sever,
 	}
 	return h.run()
 }
@@ -168,6 +184,9 @@ func (h *host) handleInit(req *request, resp *response) codec {
 		resp.Err, resp.Codec = err.Error(), ""
 		return h.cod
 	}
+	if h.sever != nil {
+		h.local.SetSever(h.sever)
+	}
 	if resp.Codec == CodecBinary {
 		return newBinaryCodec()
 	}
@@ -227,6 +246,14 @@ func (h *host) handleOp(req *request, resp *response) {
 		}
 	case opAppSeed:
 		resp.Seed, _ = h.local.AppSeed()
+	case opInject:
+		if req.Chaos == nil {
+			resp.Err = "backend: inject frame without a chaos event"
+			return
+		}
+		if err := h.local.Inject(*req.Chaos); err != nil {
+			resp.Err = err.Error()
+		}
 	default:
 		resp.Err = fmt.Sprintf("backend: unknown operation %q", req.Op)
 	}
@@ -318,7 +345,7 @@ func ServeListener(ln net.Listener, cfg ServeConfig) error {
 				return
 			}
 			logf("aimes-worker: %s: shard connected", nc.RemoteAddr())
-			if err := serveStream(nc, nc, cfg.MaxFrame); err != nil {
+			if err := serveStream(nc, nc, cfg.MaxFrame, func() { nc.Close() }); err != nil {
 				logf("aimes-worker: %s: shard failed: %v", nc.RemoteAddr(), err)
 				return
 			}

@@ -3,22 +3,20 @@ package scenario
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
+	"aimes/internal/backend"
 	"aimes/internal/batch"
-	"aimes/internal/bundle"
 	"aimes/internal/core"
-	"aimes/internal/netsim"
-	"aimes/internal/pilot"
-	"aimes/internal/saga"
 	"aimes/internal/shard"
 	"aimes/internal/sim"
 	"aimes/internal/site"
 	"aimes/internal/skeleton"
 	"aimes/internal/trace"
+
+	wkl "aimes/internal/scenario/workload"
 )
 
 // emergentWarmup is how long emergent testbeds run background load before
@@ -56,213 +54,202 @@ type Result struct {
 	Recorder *trace.Recorder
 }
 
-// Run executes the scenario and returns the instrumented result.
+// Outcome adapts the direct-path result to the assertion evaluator: one
+// completed job, no fleet.
+func (r *Result) Outcome() *Outcome {
+	return &Outcome{
+		Scenario:    r.Scenario,
+		Jobs:        []JobOutcome{{State: "done", Report: r.Report}},
+		Applied:     r.Applied,
+		Rescheduled: r.Rescheduled,
+		PilotsLost:  r.PilotsLost,
+		Recorder:    r.Recorder,
+	}
+}
+
+// runSink collects the single direct-path job's outputs: its trace records,
+// qualified the way the environment aggregate qualifies them, and its final
+// report.
+type runSink struct {
+	rec    *trace.Recorder
+	report *core.Report
+}
+
+func (s *runSink) JobTrace(_ int, ns string, r trace.Record) {
+	s.rec.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
+}
+
+func (s *runSink) JobDone(_ int, r *core.Report) { s.report = r }
+
+// Run executes the scenario on one in-process backend shard and returns the
+// instrumented result. The run adopts the target shard's derived seed and
+// namespace, so its trajectory and trace match an environment job pinned
+// there; chaos events are injected through the same backend seam worker
+// shards use, so the direct path and RunEnv observe identical faults.
 func Run(s *Scenario) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	seed := s.Seed
-	if seed == 0 {
-		seed = 42
+	if s.Fleet != nil {
+		return nil, fmt.Errorf("scenario %s: fleet scenarios run through the environment runner (RunEnv) on the worker backend", s.Name)
 	}
-	// Target shard: the run adopts the shard's derived seed and namespace,
-	// so its trajectory and trace match an environment job pinned there.
-	seed = shard.Seed(seed, s.Shard)
-
-	eng := sim.NewSim()
+	seed := shard.Seed(s.seed(), s.Shard)
 	configs, err := s.siteConfigs()
 	if err != nil {
 		return nil, err
 	}
-	tb, err := site.NewTestbed(eng, configs, sim.NewRNG(seed))
+	sink := &runSink{rec: trace.NewRecorder()}
+	l, err := backend.NewLocal(backend.Config{Shard: s.Shard, Seed: seed, Sites: configs}, sink)
 	if err != nil {
 		return nil, err
 	}
-	sess := saga.NewSession()
-	for _, st := range tb.Sites() {
-		sess.Register(saga.NewBatchAdaptor(eng, st))
-	}
-	b := bundle.New(tb.Sites())
-	links := func(resource string) *netsim.Link {
-		if st := tb.Site(resource); st != nil {
-			return st.Link()
-		}
-		return nil
-	}
-	rng := rand.New(rand.NewSource(seed ^ 0x5C3A4A10)) // "SCNR"-ish namespace
-	mgr := core.NewManager(eng, b, sess, links, pilot.DefaultConfig(), nil, rng)
+	defer l.Close()
 
 	if s.Testbed.BackgroundUtil > 0 {
+		type warmable interface {
+			Now() sim.Time
+			RunUntil(t sim.Time)
+		}
+		eng, ok := l.Engine().(warmable)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: engine cannot run emergent warmup", s.Name)
+		}
 		eng.RunUntil(eng.Now().Add(emergentWarmup))
+	}
+	epoch, _ := l.Now()
+
+	// Chaos is scheduled before enactment, so every event lands at a
+	// deterministic point of the trajectory.
+	for _, ev := range s.testbedEvents() {
+		if err := l.Inject(ev.chaos()); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 
 	w, err := s.workload(seed)
 	if err != nil {
 		return nil, err
 	}
-	strategy, err := core.Derive(w, b, s.strategyConfig(), rng)
-	if err != nil {
-		return nil, err
+	desc := &backend.Descriptor{
+		Key: 1, MigratedFrom: -1,
+		Descriptor: core.Descriptor{Workload: w, Config: s.strategyConfig()},
 	}
-
-	res := &Result{Scenario: s, Strategy: strategy, Recorder: mgr.Recorder()}
-
-	// The timeline closes over the execution handle; events only fire while
-	// the engine steps, which happens strictly after Execute returns.
-	var exec *core.Execution
-	inj := &injector{eng: eng, tb: tb, res: res, epoch: eng.Now(),
-		exec: func() *core.Execution { return exec }}
-	for _, ev := range s.Events {
-		inj.schedule(ev)
-	}
-
-	// Enact under the shard-qualified namespace, teeing the run's records
-	// into the result trace with "em"/"unit" entities qualified the same way
-	// the environment aggregate qualifies them, so the scenario trace lines
-	// up entity-for-entity with an environment job pinned to the shard.
-	ns := shard.Namespace(s.Shard, 1)
-	runRec := trace.NewRecorder()
-	shared := mgr.Recorder()
-	runRec.Observe(func(r trace.Record) {
-		shared.Record(r.Time, trace.QualifyEntity(r.Entity, ns), r.State, r.Detail)
-	})
-	opts := core.ExecOptions{Recorder: runRec, Namespace: ns}
 	if a := s.Strategy.Adaptive; a != nil {
-		exec, err = mgr.ExecuteAdaptiveWith(w, strategy, a.config(), opts)
-	} else {
-		exec, err = mgr.ExecuteWith(w, strategy, opts)
+		ac := a.config()
+		desc.Adaptive = &ac
 	}
+	en, err := l.Enact(desc)
 	if err != nil {
 		return nil, err
 	}
-	report, err := mgr.WaitFor(exec)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	for sink.report == nil {
+		_, drained, err := l.Step(4096)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if drained && sink.report == nil {
+			if ierr := l.Incomplete(desc.Key); ierr != nil {
+				return nil, fmt.Errorf("scenario %s: %w", s.Name, ierr)
+			}
+			return nil, fmt.Errorf("scenario %s: engine drained without completing the workload", s.Name)
+		}
 	}
-	res.Report = report
 
-	for _, p := range exec.Pilots() {
-		if p.State() == pilot.PilotFailed {
-			res.PilotsLost++
-		}
+	res := &Result{
+		Scenario: s, Strategy: en.Strategy, Report: sink.report, Recorder: sink.rec,
+		Applied: appliedFrom(sink.rec, epoch),
 	}
-	// Lost-pilot unit returns show up in the trace as SCHEDULING records with
-	// detail "pilot X lost"; routine walltime retirements and application
-	// cancellations are tagged "retired"/"canceled" and are not dynamics.
-	for _, rec := range res.Recorder.Records() {
-		if strings.HasPrefix(rec.Entity, "unit.") && rec.State == "SCHEDULING" &&
-			strings.HasPrefix(rec.Detail, "pilot ") && strings.HasSuffix(rec.Detail, " lost") {
-			res.Rescheduled++
-		}
-	}
+	res.PilotsLost, res.Rescheduled = dynamicsFrom(sink.rec)
 	return res, nil
 }
 
-// injector applies timeline events to the live testbed and execution.
-type injector struct {
-	eng   sim.Engine
-	tb    *site.Testbed
-	res   *Result
-	epoch sim.Time // enactment start; applied-event times are relative to it
-	exec  func() *core.Execution
-
-	surgeSeq int
-}
-
-// now is the current time relative to enactment start.
-func (in *injector) now() sim.Time { return in.eng.Now() - in.epoch }
-
-func (in *injector) schedule(ev Event) {
-	in.eng.Schedule(ev.At.Std(), func() { in.apply(ev) })
-}
-
-func (in *injector) log(ev Event, detail string) {
-	in.res.Applied = append(in.res.Applied, AppliedEvent{
-		At: in.now(), Action: ev.Action, Target: ev.Target, Detail: detail,
-	})
-}
-
-func (in *injector) apply(ev Event) {
-	st := in.tb.Site(ev.Target)
-	switch ev.Action {
-	case ActionOutage:
-		kill := ev.killRunning()
-		st.SetOffline(kill)
-		mode := "drain"
-		if kill {
-			mode = "hard, running jobs killed"
+// appliedFrom reconstructs the applied-event timeline from the "chaos"
+// trace records the backend logs when an injection fires.
+func appliedFrom(rec *trace.Recorder, epoch sim.Time) []AppliedEvent {
+	var out []AppliedEvent
+	seen := make(map[string]bool)
+	for _, r := range rec.Records() {
+		if r.Entity != "chaos" {
+			continue
 		}
-		in.log(ev, mode)
-	case ActionRecover:
-		st.SetOnline()
-		in.log(ev, "back online")
-	case ActionPreempt:
-		reason := ev.Reason
-		if reason == "" {
-			reason = "scenario"
+		// Multi-job runs log one record per live job; the timeline wants
+		// each firing once.
+		key := fmt.Sprintf("%d/%s/%s", r.Time, r.State, r.Detail)
+		if seen[key] {
+			continue
 		}
-		if e := in.exec(); e != nil && e.PreemptPilot(ev.Target, reason) {
-			in.log(ev, reason)
-		} else {
-			in.log(ev, "no pilot to preempt")
+		seen[key] = true
+		target, detail, ok := strings.Cut(r.Detail, ": ")
+		if !ok {
+			target, detail = "", r.Detail
 		}
-	case ActionSurge:
-		in.applySurge(ev, st)
-	case ActionDegradeWAN:
-		link := st.Link()
-		nominal := st.Config().BandwidthMBps * 1e6
-		link.SetBandwidth(nominal * ev.BandwidthFactor)
-		in.log(ev, fmt.Sprintf("bandwidth ×%g", ev.BandwidthFactor))
-		if ev.Duration > 0 {
-			restore := Event{Action: ActionRestoreWAN, Target: ev.Target}
-			in.eng.Schedule(ev.Duration.Std(), func() { in.apply(restore) })
-		}
-	case ActionRestoreWAN:
-		st.Link().SetBandwidth(st.Config().BandwidthMBps * 1e6)
-		in.log(ev, "bandwidth restored")
+		out = append(out, AppliedEvent{
+			At: r.Time - epoch, Action: Action(strings.ToLower(r.State)),
+			Target: target, Detail: detail,
+		})
 	}
+	return out
 }
 
-// applySurge injects a background-load burst. Modeled queues scale future
-// sampled waits; emergent queues get a burst of real competing jobs.
-func (in *injector) applySurge(ev Event, st *site.Site) {
-	if st.SetWaitScale(ev.WaitFactor) {
-		in.log(ev, fmt.Sprintf("waits ×%g", ev.WaitFactor))
-		if ev.Duration > 0 {
-			in.eng.Schedule(ev.Duration.Std(), func() {
-				st.SetWaitScale(1)
-				in.res.Applied = append(in.res.Applied, AppliedEvent{
-					At: in.now(), Action: ActionSurge, Target: ev.Target, Detail: "surge ended",
+// dynamicsFrom counts the dynamics aggregates from the qualified trace:
+// pilots that ended FAILED, and lost-pilot unit returns (SCHEDULING records
+// with detail "pilot X lost"; routine walltime retirements and application
+// cancellations are tagged "retired"/"canceled" and are not dynamics).
+func dynamicsFrom(rec *trace.Recorder) (pilotsLost, rescheduled int) {
+	for _, r := range rec.Records() {
+		switch {
+		case strings.HasPrefix(r.Entity, "pilot.") && r.State == "FAILED":
+			pilotsLost++
+		case strings.HasPrefix(r.Entity, "unit.") && r.State == "SCHEDULING" &&
+			strings.HasPrefix(r.Detail, "pilot ") && strings.HasSuffix(r.Detail, " lost"):
+			rescheduled++
+		}
+	}
+	return
+}
+
+// testbedEvents returns the timeline's site-level events ready for backend
+// injection: fleet-control events are excluded (the environment runner
+// applies those) and flap-wan is expanded into its degrade cycles.
+func (s *Scenario) testbedEvents() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		switch {
+		case fleetActions[e.Action]:
+			continue
+		case e.Action == ActionFlapWAN:
+			cycles := e.Cycles
+			if cycles == 0 {
+				cycles = 3
+			}
+			period := e.Period
+			if period == 0 {
+				period = 2 * e.Duration
+			}
+			for i := 0; i < cycles; i++ {
+				out = append(out, Event{
+					At: e.At + Duration(i)*period, Action: ActionDegradeWAN,
+					Target: e.Target, BandwidthFactor: e.BandwidthFactor,
+					Duration: e.Duration,
 				})
-			})
-		}
-		return
-	}
-	nodes := ev.JobNodes
-	if nodes <= 0 {
-		nodes = 8
-	}
-	if max := st.Config().Nodes; nodes > max {
-		nodes = max
-	}
-	runtime := ev.JobRuntime.Std()
-	if runtime <= 0 {
-		runtime = time.Hour
-	}
-	for i := 0; i < ev.Jobs; i++ {
-		in.surgeSeq++
-		job := &batch.Job{
-			ID:       fmt.Sprintf("surge-%04d", in.surgeSeq),
-			Nodes:    nodes,
-			Runtime:  runtime,
-			Walltime: 2 * runtime,
-		}
-		if err := st.Queue().Submit(job); err != nil {
-			in.log(ev, "burst submission failed: "+err.Error())
-			return
+			}
+		default:
+			out = append(out, e)
 		}
 	}
-	in.log(ev, fmt.Sprintf("%d jobs × %d nodes", ev.Jobs, nodes))
+	return out
+}
+
+// chaos translates a timeline event into the backend's wire-serializable
+// chaos form.
+func (e Event) chaos() backend.ChaosEvent {
+	return backend.ChaosEvent{
+		After: e.At.Std(), Action: string(e.Action), Target: e.Target,
+		KillRunning: e.KillRunning, Reason: e.Reason,
+		WaitFactor: e.WaitFactor, Jobs: e.Jobs, JobNodes: e.JobNodes,
+		JobRuntime: e.JobRuntime.Std(), Duration: e.Duration.Std(),
+		BandwidthFactor: e.BandwidthFactor,
+	}
 }
 
 // siteNames resolves the testbed's site names (for validation).
@@ -331,8 +318,21 @@ func (w WorkloadSpec) durationSpec() (skeleton.Spec, error) {
 	return skeleton.Constant(d.Seconds()), nil
 }
 
-// workload materializes the scenario's application.
+// params translates the generator spec for the workload package.
+func (g *GeneratorSpec) params(tasks int) wkl.Params {
+	return wkl.Params{
+		Process: g.Process, Tasks: tasks, MeanDuration: g.MeanDuration.Std(),
+		Bursts: g.Bursts, BurstSpread: g.BurstSpread, Amplitude: g.Amplitude,
+		Alpha: g.Alpha, MaxFactor: g.MaxFactor,
+	}
+}
+
+// workload materializes the scenario's application: the arrival-process
+// generator when selected, the classic bag of tasks otherwise.
 func (s *Scenario) workload(seed int64) (*skeleton.Workload, error) {
+	if g := s.Workload.Generator; g != nil {
+		return wkl.Generate(g.params(s.Workload.Tasks), seed)
+	}
 	spec, err := s.Workload.durationSpec()
 	if err != nil {
 		return nil, err

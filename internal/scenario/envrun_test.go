@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"aimes"
+)
+
+// TestMain lets this test binary serve as its own worker: a child spawned
+// with the worker environment variable set serves the framed protocol on
+// stdio and exits inside WorkerMain; every other invocation runs the tests.
+func TestMain(m *testing.M) {
+	aimes.WorkerMain()
+	os.Exit(m.Run())
+}
+
+// TestRunEnvLocalParity pins the two runners together: a non-fleet scenario
+// through RunEnv on the local backend must reproduce the direct path's
+// report — same shard seed, same workload seed, same chaos trajectory.
+func TestRunEnvLocalParity(t *testing.T) {
+	src := `{
+	  "name": "parity",
+	  "seed": 21,
+	  "workload": {"tasks": 24, "duration": "5m"},
+	  "strategy": {"binding": "late", "pilots": 2, "resources": ["stampede", "comet"]},
+	  "testbed": {"sites": [
+	    {"name": "stampede", "median_wait": "1m"},
+	    {"name": "comet", "median_wait": "1m"}
+	  ]},
+	  "events": [
+	    {"at": "2m", "action": "queue-surge", "target": "stampede", "wait_factor": 5, "duration": "20m"}
+	  ]
+	}`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := RunEnv(s2, EnvOptions{Backend: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Jobs) != 1 || env.Jobs[0].State != "done" || env.Jobs[0].Report == nil {
+		t.Fatalf("env outcome %+v", env.Jobs)
+	}
+	if env.Jobs[0].Report.TTC != direct.Report.TTC || env.Jobs[0].Report.UnitsDone != direct.Report.UnitsDone {
+		t.Fatalf("env run diverged from direct run:\nenv:    %+v\ndirect: %+v",
+			*env.Jobs[0].Report, *direct.Report)
+	}
+	if len(env.Applied) != len(direct.Applied) {
+		t.Fatalf("applied timelines diverge: env %v, direct %v", env.Applied, direct.Applied)
+	}
+}
+
+// TestRunEnvRejects covers the env runner's refusal paths.
+func TestRunEnvRejects(t *testing.T) {
+	s, err := ParseString(fleetScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEnv(s, EnvOptions{Backend: "local"}); err == nil ||
+		!strings.Contains(err.Error(), "worker backend") {
+		t.Fatalf("fleet on local backend: %v", err)
+	}
+	if _, err := RunEnv(s, EnvOptions{Backend: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("unknown backend: %v", err)
+	}
+	if _, err := Run(s); err == nil || !strings.Contains(err.Error(), "RunEnv") {
+		t.Fatalf("fleet on the direct runner: %v", err)
+	}
+	em, err := ParseString(`{
+	  "name": "emergent", "workload": {"tasks": 4},
+	  "strategy": {"binding": "late"},
+	  "testbed": {"background_util": 0.5}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEnv(em, EnvOptions{Backend: "local"}); err == nil ||
+		!strings.Contains(err.Error(), "direct runner") {
+		t.Fatalf("emergent through env runner: %v", err)
+	}
+}
+
+// TestKillWorkerInBudget drives the fleet respawn contract end to end from
+// a scenario file: six pinned jobs (four enacted, two queued), a virtual-
+// time worker kill within the restart budget. The enacted jobs fail, the
+// worker respawns, the queued descriptors replay and complete — all
+// asserted through the scenario's own assertion battery.
+func TestKillWorkerInBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	s, err := ParseString(`{
+	  "name": "kill-in-budget",
+	  "seed": 20260808,
+	  "workload": {"tasks": 8, "duration": "5m"},
+	  "strategy": {"binding": "late", "pilots": 2, "resources": ["stampede", "comet"]},
+	  "testbed": {"sites": [
+	    {"name": "stampede", "median_wait": "1m"},
+	    {"name": "comet", "median_wait": "1m"}
+	  ]},
+	  "fleet": {"workers": 2, "endpoints": 1, "max_restarts": 1, "jobs": 6},
+	  "events": [{"at": "4m", "action": "kill-worker", "target": "0"}],
+	  "assertions": [
+	    {"kind": "state", "want": "done", "count": 2},
+	    {"kind": "state", "want": "failed", "count": 4},
+	    {"kind": "fleet", "field": "restarts", "min": 1, "max": 1},
+	    {"kind": "fleet", "field": "replayed", "min": 2, "max": 2},
+	    {"kind": "report", "field": "units_done", "job": 4, "min": 8, "max": 8},
+	    {"kind": "report", "field": "units_done", "job": 5, "min": 8, "max": 8}
+	  ]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := RunEnv(s, EnvOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	// The enacted jobs' failures name the shard, like any worker death.
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(o.Jobs[i].Err, "s0") {
+			t.Fatalf("job %d failure does not name the shard: %q", i, o.Jobs[i].Err)
+		}
+	}
+}
+
+// TestKillWorkerPastBudget is the containment half: with no restart budget
+// a virtual-time kill fails the shard's jobs terminally — no respawn, no
+// replay — and the assertions prove it.
+func TestKillWorkerPastBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	s, err := ParseString(`{
+	  "name": "kill-past-budget",
+	  "seed": 909,
+	  "workload": {"tasks": 8, "duration": "5m"},
+	  "strategy": {"binding": "late", "pilots": 2, "resources": ["stampede", "comet"]},
+	  "testbed": {"sites": [
+	    {"name": "stampede", "median_wait": "1m"},
+	    {"name": "comet", "median_wait": "1m"}
+	  ]},
+	  "fleet": {"workers": 2, "endpoints": 1, "max_restarts": 0, "jobs": 2},
+	  "events": [{"at": "3m", "action": "kill-worker", "target": "0"}],
+	  "assertions": [
+	    {"kind": "state", "want": "failed", "count": 2},
+	    {"kind": "state", "want": "done", "count": 0},
+	    {"kind": "fleet", "field": "restarts", "max": 0},
+	    {"kind": "fleet", "field": "replayed", "max": 0}
+	  ]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := RunEnv(s, EnvOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range o.Jobs {
+		if !strings.Contains(j.Err, "s0") {
+			t.Fatalf("job %d terminal failure does not name the shard: %q", i, j.Err)
+		}
+	}
+}
+
+// TestFlapWANExpansion checks the flap-wan → degrade-wan cycle expansion
+// the runners inject.
+func TestFlapWANExpansion(t *testing.T) {
+	s := &Scenario{
+		Events: []Event{
+			{At: Duration(60e9), Action: ActionFlapWAN, Target: "gordon",
+				BandwidthFactor: 0.5, Duration: Duration(30e9), Cycles: 2, Period: Duration(120e9)},
+			{At: 0, Action: ActionKillWorker},
+		},
+	}
+	evs := s.testbedEvents()
+	if len(evs) != 2 {
+		t.Fatalf("expanded into %d events, want 2 degrade cycles (fleet event excluded)", len(evs))
+	}
+	for i, e := range evs {
+		if e.Action != ActionDegradeWAN || e.BandwidthFactor != 0.5 || e.Duration != Duration(30e9) {
+			t.Fatalf("cycle %d: %+v", i, e)
+		}
+		want := Duration(60e9) + Duration(i)*Duration(120e9)
+		if e.At != want {
+			t.Fatalf("cycle %d at %v, want %v", i, e.At.Std(), want.Std())
+		}
+	}
+	// Defaults: 3 cycles, period 2x duration.
+	s.Events[0].Cycles, s.Events[0].Period = 0, 0
+	evs = s.testbedEvents()
+	if len(evs) != 3 {
+		t.Fatalf("default cycles: %d events, want 3", len(evs))
+	}
+	if evs[1].At != Duration(60e9)+2*Duration(30e9) {
+		t.Fatalf("default period: second cycle at %v", evs[1].At.Std())
+	}
+}

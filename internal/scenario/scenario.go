@@ -13,8 +13,10 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -77,6 +79,24 @@ const (
 	// ActionRestoreWAN restores the target's WAN link to its configured
 	// bandwidth.
 	ActionRestoreWAN Action = "restore-wan"
+	// ActionFlapWAN degrades and restores the target's WAN link repeatedly:
+	// cycles degradations of duration each, period apart — the flapping
+	// link that stresses migration and staging decisions.
+	ActionFlapWAN Action = "flap-wan"
+	// ActionKillWorker severs the target worker shard's transport at the
+	// event time (in the shard's virtual time), exercising the fleet's
+	// respawn-and-replay path. Target is a shard index ("0"); empty targets
+	// the scenario's own shard. Requires a fleet section.
+	ActionKillWorker Action = "kill-worker"
+	// ActionCordon marks a fleet endpoint ineligible for respawn placement.
+	// Target is an endpoint name ("ep0"). Requires a fleet section.
+	ActionCordon Action = "cordon-endpoint"
+	// ActionUncordon reverses a cordon. Requires a fleet section.
+	ActionUncordon Action = "uncordon-endpoint"
+	// ActionDrain cordons an endpoint and severs every worker on it; their
+	// shards fail over to the remaining endpoints within the restart
+	// budget. Requires a fleet section.
+	ActionDrain Action = "drain-endpoint"
 )
 
 var knownActions = map[Action]bool{
@@ -86,6 +106,21 @@ var knownActions = map[Action]bool{
 	ActionSurge:      true,
 	ActionDegradeWAN: true,
 	ActionRestoreWAN: true,
+	ActionFlapWAN:    true,
+	ActionKillWorker: true,
+	ActionCordon:     true,
+	ActionUncordon:   true,
+	ActionDrain:      true,
+}
+
+// fleetActions reach the worker-fleet control plane instead of the
+// simulated testbed; they require a fleet section and the environment
+// runner (RunEnv) on the worker backend.
+var fleetActions = map[Action]bool{
+	ActionKillWorker: true,
+	ActionCordon:     true,
+	ActionUncordon:   true,
+	ActionDrain:      true,
 }
 
 // Event is one timeline entry.
@@ -117,6 +152,12 @@ type Event struct {
 
 	// BandwidthFactor scales the WAN link capacity (e.g. 0.25).
 	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"`
+
+	// Cycles is the number of degrade/restore rounds of a flap-wan event
+	// (default 3).
+	Cycles int `json:"cycles,omitempty"`
+	// Period is the cycle length of a flap-wan event (default 2×duration).
+	Period Duration `json:"period,omitempty"`
 }
 
 // killRunning resolves the outage mode default.
@@ -133,8 +174,36 @@ type WorkloadSpec struct {
 	Tasks int `json:"tasks"`
 	// Duration selects the task-duration distribution: "uniform" (constant
 	// 15 min, the default), "gaussian" (truncated Gaussian of Table I), or a
-	// fixed Go duration string such as "2m".
+	// fixed Go duration string such as "2m". Mutually exclusive with
+	// Generator.
 	Duration string `json:"duration,omitempty"`
+	// Generator switches to the seeded arrival-process generator
+	// (internal/scenario/workload): bursty, diurnal, or heavy-tailed task
+	// mixes instead of a single distribution.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// GeneratorSpec parameterizes the arrival-process workload generator. Knobs
+// not used by the selected process are rejected only when structurally
+// invalid, so a spec can be switched between processes by editing one field.
+type GeneratorSpec struct {
+	// Process is "bursty", "diurnal", or "heavy-tailed".
+	Process string `json:"process"`
+	// MeanDuration is the mean task duration (default 15m).
+	MeanDuration Duration `json:"mean_duration,omitempty"`
+	// Bursts is the burst count of the bursty process (default 4): tasks
+	// arrive in bursts sharing a common duration scale.
+	Bursts int `json:"bursts,omitempty"`
+	// BurstSpread widens the lognormal spread between burst scales
+	// (default 1).
+	BurstSpread float64 `json:"burst_spread,omitempty"`
+	// Amplitude is the diurnal modulation depth in [0, 1) (default 0.6).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Alpha is the heavy-tailed (bounded Pareto) tail exponent, > 1
+	// (default 1.5; smaller is heavier).
+	Alpha float64 `json:"alpha,omitempty"`
+	// MaxFactor caps heavy-tailed draws at MaxFactor × mean (default 20).
+	MaxFactor float64 `json:"max_factor,omitempty"`
 }
 
 // AdaptiveSpec enables runtime strategy adaptation.
@@ -190,6 +259,50 @@ type TestbedSpec struct {
 	BackgroundUtil float64 `json:"background_util,omitempty"`
 }
 
+// FleetSpec runs the scenario on a worker fleet instead of a single local
+// stack: Workers worker shards (work stealing on) spread across Endpoints
+// named endpoints "ep0".."ep<n-1>", with the jobs pinned to the scenario's
+// shard so kill-worker lands on a deterministic mix of enacted and queued
+// jobs. Fleet scenarios run only through the environment runner on the
+// worker backend.
+type FleetSpec struct {
+	// Workers is the worker-shard count, at least 2 (default 2).
+	Workers int `json:"workers,omitempty"`
+	// Endpoints is the number of named endpoints (default 1).
+	Endpoints int `json:"endpoints,omitempty"`
+	// MaxRestarts is the per-shard respawn budget (default 0: a killed
+	// worker's jobs fail and stay failed).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// Jobs fans the workload out as this many pinned jobs (default 1);
+	// submissions beyond the admission window queue un-enacted, which is
+	// what a respawn replays.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+func (f *FleetSpec) workers() int {
+	if f.Workers == 0 {
+		return 2
+	}
+	return f.Workers
+}
+
+func (f *FleetSpec) endpoints() int {
+	if f.Endpoints == 0 {
+		return 1
+	}
+	return f.Endpoints
+}
+
+func (f *FleetSpec) jobs() int {
+	if f.Jobs == 0 {
+		return 1
+	}
+	return f.Jobs
+}
+
+// EndpointName returns the fleet's i-th endpoint name.
+func EndpointName(i int) string { return fmt.Sprintf("ep%d", i) }
+
 // Scenario is one parsed scenario file.
 type Scenario struct {
 	Name        string `json:"name"`
@@ -205,7 +318,19 @@ type Scenario struct {
 	Workload WorkloadSpec `json:"workload"`
 	Strategy StrategySpec `json:"strategy"`
 	Testbed  TestbedSpec  `json:"testbed,omitempty"`
+	Fleet    *FleetSpec   `json:"fleet,omitempty"`
 	Events   []Event      `json:"events,omitempty"`
+	// Assertions are checked against the run's outcome (see Assert); a
+	// scenario with assertions is a test case, not just a demo.
+	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// seed resolves the scenario seed default.
+func (s *Scenario) seed() int64 {
+	if s.Seed == 0 {
+		return 42
+	}
+	return s.Seed
 }
 
 // Parse reads and validates a scenario from JSON.
@@ -227,93 +352,173 @@ func ParseString(s string) (*Scenario, error) {
 	return Parse(strings.NewReader(s))
 }
 
-// Validate reports the first problem with the scenario, with enough context
-// to fix the file.
+// Validate checks the whole scenario and reports every problem it finds as
+// one joined error (one line per problem), each naming the scenario and —
+// for timeline and assertion problems — the event or assertion index.
 func (s *Scenario) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
 	if s.Name == "" {
-		return fmt.Errorf("scenario: missing name")
+		fail("scenario: missing name")
 	}
 	if s.Workload.Tasks <= 0 {
-		return fmt.Errorf("scenario %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
+		fail("scenario %s: workload.tasks must be positive, got %d", s.Name, s.Workload.Tasks)
 	}
 	if s.Shard < 0 {
-		return fmt.Errorf("scenario %s: negative shard %d", s.Name, s.Shard)
+		fail("scenario %s: negative shard %d", s.Name, s.Shard)
 	}
-	if _, err := s.Workload.durationSpec(); err != nil {
-		return err
+	if g := s.Workload.Generator; g != nil {
+		if s.Workload.Duration != "" {
+			fail("scenario %s: workload.duration and workload.generator are mutually exclusive", s.Name)
+		}
+		if err := g.params(s.Workload.Tasks).Validate(); err != nil {
+			fail("scenario %s: workload.generator: %v", s.Name, err)
+		}
+	} else if _, err := s.Workload.durationSpec(); err != nil {
+		errs = append(errs, err)
 	}
 	switch s.Strategy.Binding {
 	case "early", "late":
 	case "":
-		return fmt.Errorf("scenario %s: strategy.binding is required (early or late)", s.Name)
+		fail("scenario %s: strategy.binding is required (early or late)", s.Name)
 	default:
-		return fmt.Errorf("scenario %s: unknown binding %q (want early or late)", s.Name, s.Strategy.Binding)
+		fail("scenario %s: unknown binding %q (want early or late)", s.Name, s.Strategy.Binding)
 	}
 	if s.Strategy.Pilots < 0 {
-		return fmt.Errorf("scenario %s: negative pilot count %d", s.Name, s.Strategy.Pilots)
+		fail("scenario %s: negative pilot count %d", s.Name, s.Strategy.Pilots)
 	}
 	if a := s.Strategy.Adaptive; a != nil {
 		if a.Patience < 0 || a.MaxExtraPilots < 0 || a.MaxReplacements < 0 {
-			return fmt.Errorf("scenario %s: adaptive knobs must be non-negative", s.Name)
+			fail("scenario %s: adaptive knobs must be non-negative", s.Name)
 		}
 	}
 	if s.Testbed.BackgroundUtil < 0 || s.Testbed.BackgroundUtil >= 1 {
 		if s.Testbed.BackgroundUtil != 0 {
-			return fmt.Errorf("scenario %s: background_util %g out of (0, 1)", s.Name, s.Testbed.BackgroundUtil)
+			fail("scenario %s: background_util %g out of (0, 1)", s.Name, s.Testbed.BackgroundUtil)
+		}
+	}
+	if f := s.Fleet; f != nil {
+		if f.Workers != 0 && (f.Workers < 2 || f.Workers > 16) {
+			fail("scenario %s: fleet.workers must be in [2, 16] (0 defaults to 2), got %d", s.Name, f.Workers)
+		}
+		if f.Endpoints < 0 || f.Endpoints > 8 {
+			fail("scenario %s: fleet.endpoints must be in [0, 8], got %d", s.Name, f.Endpoints)
+		}
+		if f.MaxRestarts < 0 {
+			fail("scenario %s: negative fleet.max_restarts %d", s.Name, f.MaxRestarts)
+		}
+		if f.Jobs < 0 || f.Jobs > 64 {
+			fail("scenario %s: fleet.jobs must be in [0, 64], got %d", s.Name, f.Jobs)
+		}
+		if s.Testbed.BackgroundUtil > 0 {
+			fail("scenario %s: fleet scenarios do not support emergent testbeds (background_util)", s.Name)
 		}
 	}
 
-	names, err := s.siteNames()
-	if err != nil {
-		return err
+	names, sitesErr := s.siteNames()
+	if sitesErr != nil {
+		errs = append(errs, sitesErr)
 	}
 	valid := make(map[string]bool, len(names))
 	for _, n := range names {
 		valid[n] = true
 	}
 	for _, r := range s.Strategy.Resources {
-		if !valid[r] {
-			return fmt.Errorf("scenario %s: strategy resource %q not in testbed %v", s.Name, r, names)
+		if sitesErr == nil && !valid[r] {
+			fail("scenario %s: strategy resource %q not in testbed %v", s.Name, r, names)
 		}
 	}
 	// Compare against the pilot count Run will actually use: an omitted
 	// count defaults per binding (late → 3, early → 1).
 	pilots := s.strategyConfig().Pilots
 	if n := len(s.Strategy.Resources); n > 0 && pilots > n {
-		return fmt.Errorf("scenario %s: %d pilots but only %d pinned resources", s.Name, pilots, n)
+		fail("scenario %s: %d pilots but only %d pinned resources", s.Name, pilots, n)
 	}
 
 	for i, e := range s.Events {
 		where := fmt.Sprintf("scenario %s: event %d (%s)", s.Name, i, e.Action)
 		if e.At < 0 {
-			return fmt.Errorf("%s: negative time %v", where, e.At.Std())
+			fail("%s: negative time %v", where, e.At.Std())
 		}
 		if !knownActions[e.Action] {
-			return fmt.Errorf("scenario %s: event %d: unknown action %q", s.Name, i, e.Action)
+			fail("scenario %s: event %d: unknown action %q", s.Name, i, e.Action)
+			continue
+		}
+		if e.Duration < 0 {
+			fail("%s: negative duration %v", where, e.Duration.Std())
+		}
+		if fleetActions[e.Action] {
+			s.validateFleetEvent(where, e, fail)
+			continue
 		}
 		if e.Target == "" {
-			return fmt.Errorf("%s: missing target", where)
-		}
-		if !valid[e.Target] {
-			return fmt.Errorf("%s: target %q not in testbed %v", where, e.Target, names)
+			fail("%s: missing target", where)
+		} else if sitesErr == nil && !valid[e.Target] {
+			fail("%s: target %q not in testbed %v", where, e.Target, names)
 		}
 		switch e.Action {
 		case ActionSurge:
 			if s.Testbed.BackgroundUtil > 0 {
 				if e.Jobs <= 0 {
-					return fmt.Errorf("%s: emergent surge needs jobs > 0", where)
+					fail("%s: emergent surge needs jobs > 0", where)
 				}
 			} else if e.WaitFactor <= 0 {
-				return fmt.Errorf("%s: modeled surge needs wait_factor > 0", where)
+				fail("%s: modeled surge needs wait_factor > 0", where)
 			}
 		case ActionDegradeWAN:
 			if e.BandwidthFactor <= 0 {
-				return fmt.Errorf("%s: needs bandwidth_factor > 0", where)
+				fail("%s: needs bandwidth_factor > 0", where)
+			}
+		case ActionFlapWAN:
+			if e.BandwidthFactor <= 0 {
+				fail("%s: needs bandwidth_factor > 0", where)
+			}
+			if e.Duration <= 0 {
+				fail("%s: needs duration > 0 (the degraded interval per cycle)", where)
+			}
+			if e.Cycles < 0 {
+				fail("%s: negative cycles %d", where, e.Cycles)
+			}
+			if e.Period < 0 {
+				fail("%s: negative period %v", where, e.Period.Std())
+			} else if e.Period > 0 && e.Period < e.Duration {
+				fail("%s: period %v shorter than the degraded duration %v", where, e.Period.Std(), e.Duration.Std())
 			}
 		}
-		if e.Duration < 0 {
-			return fmt.Errorf("%s: negative duration %v", where, e.Duration.Std())
+	}
+
+	for i, a := range s.Assertions {
+		for _, err := range a.validate(s) {
+			fail("scenario %s: assertion %d: %v", s.Name, i, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// validateFleetEvent checks one fleet-control event.
+func (s *Scenario) validateFleetEvent(where string, e Event, fail func(string, ...any)) {
+	if s.Fleet == nil {
+		fail("%s: requires a fleet section", where)
+		return
+	}
+	if e.Action == ActionKillWorker {
+		if e.Target == "" {
+			return // defaults to the scenario's shard
+		}
+		k, err := strconv.Atoi(e.Target)
+		if err != nil || k < 0 || k >= s.Fleet.workers() {
+			fail("%s: target must be a worker shard index in [0, %d), got %q", where, s.Fleet.workers(), e.Target)
+		}
+		return
+	}
+	if e.Target == "" {
+		fail("%s: missing target", where)
+		return
+	}
+	for i := 0; i < s.Fleet.endpoints(); i++ {
+		if e.Target == EndpointName(i) {
+			return
+		}
+	}
+	fail("%s: target %q is not a fleet endpoint (ep0..ep%d)", where, e.Target, s.Fleet.endpoints()-1)
 }

@@ -1,0 +1,229 @@
+// Package workload is the scenario engine's seeded arrival-process
+// generator: instead of a single uniform bag of tasks, it materializes task
+// mixes whose sizes follow realistic load shapes — bursty batches sharing a
+// common scale, diurnal modulation across the submission order, and
+// heavy-tailed (bounded Pareto) stragglers. The output is an ordinary
+// skeleton.Workload, so everything downstream (strategy derivation, pilots,
+// staging) is untouched; only the mix changes.
+//
+// Generation is deterministic for a (Params, seed) pair, which is what lets
+// scenario assertions put bounds on the outcome.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aimes/internal/skeleton"
+)
+
+// Process names.
+const (
+	Bursty      = "bursty"
+	Diurnal     = "diurnal"
+	HeavyTailed = "heavy-tailed"
+)
+
+// Params selects and tunes one arrival process. Zero values take the
+// documented defaults.
+type Params struct {
+	// Process is Bursty, Diurnal, or HeavyTailed.
+	Process string
+	// Tasks is the task count.
+	Tasks int
+	// MeanDuration is the mean task duration (default 15m).
+	MeanDuration time.Duration
+
+	// Bursts is the bursty process's batch count (default 4): tasks arrive
+	// in contiguous bursts, each sharing one lognormally-drawn duration
+	// scale — the "everyone resubmits the same campaign" shape.
+	Bursts int
+	// BurstSpread scales the lognormal sigma between burst scales
+	// (default 1).
+	BurstSpread float64
+
+	// Amplitude is the diurnal modulation depth in [0, 1): task i's
+	// duration is modulated by 1 + Amplitude·sin(2π·i/Tasks), one full
+	// day-cycle across the submission order (default 0.6).
+	Amplitude float64
+
+	// Alpha is the heavy-tailed process's bounded-Pareto tail exponent,
+	// > 1 (default 1.5; smaller is heavier).
+	Alpha float64
+	// MaxFactor caps heavy-tailed draws at MaxFactor × MeanDuration
+	// (default 20).
+	MaxFactor float64
+}
+
+// Defaults.
+const (
+	defaultMean        = 15 * time.Minute
+	defaultBursts      = 4
+	defaultBurstSpread = 1.0
+	defaultAmplitude   = 0.6
+	defaultAlpha       = 1.5
+	defaultMaxFactor   = 20.0
+	// jitter is the uniform per-task wobble applied on top of every
+	// process's scale, so no two tasks are exactly equal.
+	jitter = 0.2
+	// minTaskSeconds floors every drawn duration; zero-length tasks distort
+	// TTC decomposition.
+	minTaskSeconds = 30.0
+)
+
+func (p Params) mean() float64 {
+	if p.MeanDuration <= 0 {
+		return defaultMean.Seconds()
+	}
+	return p.MeanDuration.Seconds()
+}
+
+func (p Params) bursts() int {
+	if p.Bursts == 0 {
+		return defaultBursts
+	}
+	return p.Bursts
+}
+
+func (p Params) burstSpread() float64 {
+	if p.BurstSpread == 0 {
+		return defaultBurstSpread
+	}
+	return p.BurstSpread
+}
+
+func (p Params) amplitude() float64 {
+	if p.Amplitude == 0 {
+		return defaultAmplitude
+	}
+	return p.Amplitude
+}
+
+func (p Params) alpha() float64 {
+	if p.Alpha == 0 {
+		return defaultAlpha
+	}
+	return p.Alpha
+}
+
+func (p Params) maxFactor() float64 {
+	if p.MaxFactor == 0 {
+		return defaultMaxFactor
+	}
+	return p.MaxFactor
+}
+
+// Validate reports the first structural problem with the parameters.
+func (p Params) Validate() error {
+	switch p.Process {
+	case Bursty, Diurnal, HeavyTailed:
+	case "":
+		return fmt.Errorf("workload: process is required (%s, %s, or %s)", Bursty, Diurnal, HeavyTailed)
+	default:
+		return fmt.Errorf("workload: unknown process %q (want %s, %s, or %s)", p.Process, Bursty, Diurnal, HeavyTailed)
+	}
+	if p.Tasks <= 0 {
+		return fmt.Errorf("workload: tasks must be positive, got %d", p.Tasks)
+	}
+	if p.MeanDuration < 0 {
+		return fmt.Errorf("workload: negative mean duration %s", p.MeanDuration)
+	}
+	if p.Bursts < 0 {
+		return fmt.Errorf("workload: negative bursts %d", p.Bursts)
+	}
+	if p.BurstSpread < 0 {
+		return fmt.Errorf("workload: negative burst_spread %g", p.BurstSpread)
+	}
+	if p.Amplitude < 0 || p.Amplitude >= 1 {
+		if p.Amplitude != 0 {
+			return fmt.Errorf("workload: amplitude %g out of [0, 1)", p.Amplitude)
+		}
+	}
+	if p.Alpha != 0 && p.Alpha <= 1 {
+		return fmt.Errorf("workload: alpha must exceed 1, got %g", p.Alpha)
+	}
+	if p.MaxFactor < 0 || (p.MaxFactor > 0 && p.MaxFactor < 1) {
+		return fmt.Errorf("workload: max_factor must be at least 1, got %g", p.MaxFactor)
+	}
+	return nil
+}
+
+// scales draws the per-task duration scale factors for the process.
+func (p Params) scales(rng *rand.Rand) []float64 {
+	n := p.Tasks
+	out := make([]float64, n)
+	switch p.Process {
+	case Bursty:
+		// Each burst shares one lognormal scale, normalized to mean ~1 by
+		// the lognormal's exp(σ²/2) correction.
+		bursts := p.bursts()
+		if bursts > n {
+			bursts = n
+		}
+		sigma := 0.7 * p.burstSpread()
+		burstScale := make([]float64, bursts)
+		for b := range burstScale {
+			burstScale[b] = math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+		}
+		per := (n + bursts - 1) / bursts
+		for i := range out {
+			out[i] = burstScale[i/per]
+		}
+	case Diurnal:
+		amp := p.amplitude()
+		for i := range out {
+			phase := 2 * math.Pi * float64(i) / float64(n)
+			out[i] = 1 + amp*math.Sin(phase)
+		}
+	case HeavyTailed:
+		// Bounded Pareto with xm chosen so the unbounded mean equals 1:
+		// xm = (α-1)/α; the MaxFactor cap trims the extreme tail.
+		alpha := p.alpha()
+		xm := (alpha - 1) / alpha
+		limit := p.maxFactor()
+		for i := range out {
+			v := xm / math.Pow(1-rng.Float64(), 1/alpha)
+			if v > limit {
+				v = limit
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Generate materializes the workload: Tasks single-core tasks in one stage,
+// each with the bag-of-tasks staging profile (1 MB in, 2 KB out) and a
+// duration of MeanDuration × process scale × uniform jitter.
+func Generate(p Params, seed int64) (*skeleton.Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x57524B4C)) // "WRKL"
+	mean := p.mean()
+	scales := p.scales(rng)
+	w := &skeleton.Workload{
+		Name:   fmt.Sprintf("%s-%d", p.Process, p.Tasks),
+		Stages: []string{"stage-0"},
+		Tasks:  make([]skeleton.Task, p.Tasks),
+	}
+	for i := range w.Tasks {
+		d := mean * scales[i] * (1 - jitter + 2*jitter*rng.Float64())
+		if d < minTaskSeconds {
+			d = minTaskSeconds
+		}
+		id := fmt.Sprintf("stage-0.%04d", i)
+		w.Tasks[i] = skeleton.Task{
+			ID:       id,
+			Stage:    "stage-0",
+			Index:    i,
+			Cores:    1,
+			Duration: time.Duration(d * float64(time.Second)),
+			Inputs:   []skeleton.File{{Name: id + ".in", Bytes: 1 << 20}},
+			Outputs:  []skeleton.File{{Name: id + ".out", Bytes: 2 << 10}},
+		}
+	}
+	return w, nil
+}

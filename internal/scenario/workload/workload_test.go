@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func gen(t *testing.T, p Params, seed int64) []time.Duration {
+	t.Helper()
+	w, err := Generate(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != p.Tasks {
+		t.Fatalf("generated %d tasks, want %d", len(w.Tasks), p.Tasks)
+	}
+	out := make([]time.Duration, len(w.Tasks))
+	for i, task := range w.Tasks {
+		if task.Cores != 1 || task.Stage != "stage-0" || len(task.Inputs) != 1 || len(task.Outputs) != 1 {
+			t.Fatalf("task %d malformed: %+v", i, task)
+		}
+		if task.Duration < 30*time.Second {
+			t.Fatalf("task %d duration %v under the 30s floor", i, task.Duration)
+		}
+		out[i] = task.Duration
+	}
+	return out
+}
+
+// TestGenerateDeterministic is the property assertions rely on: same
+// (Params, seed) pair, same workload, bit for bit.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, proc := range []string{Bursty, Diurnal, HeavyTailed} {
+		p := Params{Process: proc, Tasks: 32}
+		a, err := Generate(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged", proc)
+		}
+		c, err := Generate(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Tasks, c.Tasks) {
+			t.Fatalf("%s: different seeds produced identical mixes", proc)
+		}
+	}
+}
+
+// TestBurstyShape checks the bursty process's defining property: tasks in
+// the same burst share a scale, so within a burst the (pre-jitter) spread
+// is small relative to the spread across bursts.
+func TestBurstyShape(t *testing.T) {
+	p := Params{Process: Bursty, Tasks: 40, Bursts: 4, BurstSpread: 2}
+	d := gen(t, p, 3)
+	per := 10
+	var burstMeans []float64
+	for b := 0; b < 4; b++ {
+		sum := 0.0
+		for i := b * per; i < (b+1)*per; i++ {
+			sum += d[i].Seconds()
+		}
+		burstMeans = append(burstMeans, sum/float64(per))
+	}
+	// With spread 2 the lognormal burst scales differ by far more than the
+	// ±20% jitter; at least two burst means must be well separated.
+	min, max := burstMeans[0], burstMeans[0]
+	for _, m := range burstMeans[1:] {
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max < 1.5*min {
+		t.Fatalf("burst means %v too uniform for spread 2", burstMeans)
+	}
+}
+
+// TestDiurnalShape checks the day-cycle modulation: the first half of the
+// submission order (sin > 0) must run longer on average than the second
+// half (sin < 0), since the amplitude dominates the jitter.
+func TestDiurnalShape(t *testing.T) {
+	p := Params{Process: Diurnal, Tasks: 64, Amplitude: 0.6}
+	d := gen(t, p, 11)
+	mean := func(ds []time.Duration) float64 {
+		sum := 0.0
+		for _, v := range ds {
+			sum += v.Seconds()
+		}
+		return sum / float64(len(ds))
+	}
+	first, second := mean(d[:32]), mean(d[32:])
+	if first <= second {
+		t.Fatalf("diurnal halves inverted: first %.0fs, second %.0fs", first, second)
+	}
+}
+
+// TestHeavyTailedShape checks the bounded Pareto: every draw respects the
+// MaxFactor cap, and the tail actually produces stragglers well above the
+// median.
+func TestHeavyTailedShape(t *testing.T) {
+	p := Params{Process: HeavyTailed, Tasks: 256, MeanDuration: 10 * time.Minute, Alpha: 1.5, MaxFactor: 20}
+	d := gen(t, p, 5)
+	limit := 20 * 10 * time.Minute * 12 / 10 // cap × mean × max jitter
+	straggler := false
+	for i, v := range d {
+		if v > limit {
+			t.Fatalf("task %d duration %v exceeds the bounded-Pareto cap", i, v)
+		}
+		if v > 5*10*time.Minute {
+			straggler = true
+		}
+	}
+	if !straggler {
+		t.Fatal("no straggler above 5x the mean in 256 heavy-tailed draws")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want string
+	}{
+		{"no process", Params{Tasks: 4}, "process is required"},
+		{"unknown process", Params{Process: "lumpy", Tasks: 4}, "unknown process"},
+		{"zero tasks", Params{Process: Bursty}, "tasks must be positive"},
+		{"negative mean", Params{Process: Bursty, Tasks: 4, MeanDuration: -time.Second}, "negative mean"},
+		{"negative bursts", Params{Process: Bursty, Tasks: 4, Bursts: -1}, "negative bursts"},
+		{"negative spread", Params{Process: Bursty, Tasks: 4, BurstSpread: -0.5}, "negative burst_spread"},
+		{"amplitude too big", Params{Process: Diurnal, Tasks: 4, Amplitude: 1.5}, "amplitude"},
+		{"alpha too small", Params{Process: HeavyTailed, Tasks: 4, Alpha: 0.9}, "alpha"},
+		{"max factor under 1", Params{Process: HeavyTailed, Tasks: 4, MaxFactor: 0.5}, "max_factor"},
+	}
+	for _, tc := range cases {
+		_, err := Generate(tc.p, 1)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
