@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift scenarios scenario-matrix smoke worker-smoke worker-tcp-smoke server-smoke fleet-smoke ci
+.PHONY: build test race vet lint bench bench-check bench-baseline bench-drift model-check scenarios scenario-matrix smoke worker-smoke worker-tcp-smoke server-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,12 @@ bench:
 # against the committed BENCH_baseline.json (fails on a >25% jobs/s drop at
 # any shard count both recorded, a skewed-load ratio under 0.70 on multi-core
 # machines, worker-backend throughput under 0.35 of the local peak, a binary
-# codec win under 1.2x the JSON workers, or over 5000 parent-side allocations
-# per job on the wire hot path).
+# codec win under 1.2x the JSON workers, over 5000 parent-side allocations
+# per job on the wire hot path, or predictive placement under 0.9 of the
+# least-loaded heuristic's throughput).
 bench-check:
 	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
-	$(GO) run ./cmd/bench-check -min-worker-ratio 0.35 -min-codec-speedup 1.2 -max-worker-allocs 5000
+	$(GO) run ./cmd/bench-check -min-worker-ratio 0.35 -min-codec-speedup 1.2 -max-worker-allocs 5000 -min-predictive-ratio 0.9
 
 # Refresh the committed baseline from a fresh sweep on this machine.
 bench-baseline:
@@ -52,6 +53,14 @@ bench-baseline:
 bench-drift:
 	$(GO) test -bench BenchmarkConcurrentJobs -benchtime 3x -run '^$$' .
 	$(GO) run ./cmd/bench-check -drift 20
+
+# Cost-model fidelity gate: run the deterministic validation battery
+# (internal/modelcheck) and compare its prediction error against the
+# committed MODEL_baseline.json — refresh after a deliberate model change
+# with `go run ./cmd/model-check -update`. The run also appends a
+# model-fidelity record to the shared BENCH_history.jsonl trajectory.
+model-check:
+	$(GO) run ./cmd/model-check -history BENCH_history.jsonl
 
 # Validate and run every example scenario.
 scenarios: build
@@ -105,4 +114,4 @@ server-smoke:
 fleet-smoke:
 	timeout 300 ./scripts/fleet_smoke.sh
 
-ci: lint race bench-check scenarios scenario-matrix worker-smoke worker-tcp-smoke server-smoke fleet-smoke
+ci: lint race bench-check model-check scenarios scenario-matrix worker-smoke worker-tcp-smoke server-smoke fleet-smoke

@@ -93,6 +93,7 @@ import (
 	"aimes/internal/backend"
 	"aimes/internal/bundle"
 	"aimes/internal/core"
+	"aimes/internal/model"
 	"aimes/internal/pilot"
 	"aimes/internal/shard"
 	"aimes/internal/sim"
@@ -249,6 +250,12 @@ type Environment struct {
 	realTime bool
 	kind     BackendKind
 
+	// model is the analytical cost-model twin (internal/model): per-shard
+	// EWMA fits of drain rate, queue wait and event demand, refitted on
+	// every completion and consulted by predictive placement, the migration
+	// benefit gate, and admission-window sizing. Always non-nil.
+	model *model.CostModel
+
 	// pool is the worker fleet manager (nil on the local backend): it owns
 	// every worker session, places shards on endpoints, probes liveness,
 	// and respawns dead workers within the restart budget. All sh.be
@@ -361,6 +368,15 @@ type shardEnv struct {
 	doneJobs    atomic.Int64
 	busyNanos   atomic.Int64
 	eventsFired atomic.Int64
+
+	// lastDoneEvents/lastDoneJobs are eventsFired and doneJobs at the last
+	// completion that saw the event counter move — the subtrahends for the
+	// per-job event-demand observation fed to the cost model (events fire
+	// in batches, so one delta can cover several completions). Guarded by
+	// the shard's engine serialization (every completion path runs under
+	// it), so they need no atomics.
+	lastDoneEvents int64
+	lastDoneJobs   int64
 
 	// pendingAgg buffers this shard's trace records for the environment
 	// aggregate. Appends run under the shard's engine serialization, so the
@@ -767,6 +783,8 @@ func NewEnv(opts ...Option) (*Environment, error) {
 		steal:     o.steal && n > 1, // a single shard has no peers to steal from
 		agg:       trace.NewRecorder(),
 	}
+	env.model = model.New(model.Config{Shards: n, Backend: string(o.kind)})
+	env.picker.SetModel(&placementModel{env})
 	if o.kind == BackendWorker {
 		pool, err := backend.NewPool(pcfg)
 		if err != nil {
@@ -1095,6 +1113,17 @@ type ShardLoad struct {
 	Load     float64 // weighted effective load: estimated seconds to drain
 	Window   int     // current admission window (0 without work stealing)
 	Restarts int     // worker respawns for this shard (0 on the local backend)
+
+	// PredictedCost is the cost model's predicted completion (virtual
+	// seconds) of placing one more typical job — the shard's fitted mean
+	// demand — on this shard right now: fitted queue wait + current backlog
+	// drain + service time. The signal predictive placement ranks, made
+	// comparable across shards.
+	PredictedCost float64
+	// ModelError is the shard's EWMA of relative prediction error
+	// (|predicted − observed| / observed per completed job); 0 until the
+	// shard has scored a prediction.
+	ModelError float64
 }
 
 // Loads snapshots every shard's queue depth, running-job count, admission
@@ -1116,6 +1145,9 @@ func (e *Environment) Loads() []ShardLoad {
 			out[k].Window = int(sh.lastWindow.Load())
 		}
 		out[k].Restarts = int(sh.restarts.Load())
+		out[k].PredictedCost = e.model.Predict(k, e.model.TypicalCost(k),
+			float64(sh.pendingCost.Load())/1000).Total
+		out[k].ModelError = e.model.RelError(k)
 		sh.sync(func() {
 			out[k].Running = sh.running
 			out[k].Queued = len(sh.queue)
@@ -1331,21 +1363,21 @@ const admitWindow = 4
 const maxAdmitWindow = 64
 
 // windowFor returns the shard's current admission window. Without work
-// stealing it is unbounded (enact at Submit). With stealing, the window
-// adapts to the shard's observed drain rate and queue depth: the rate
-// observed per admission opportunity is doneJobs×sh.batch/eventsFired —
-// how many jobs one pump batch's worth of engine events retires on average
-// — and the window keeps roughly two batches' worth of drainable jobs
-// enacted. Heavy tenants burn far more than a batch of events per job and
-// stay at the minimum; a flood of tiny tenants retires several jobs per
-// batch and would trickle through a constant-size window, under-filling
-// the shard between admissions, so the window grows — capped by the work
-// actually present (running + queued) and by maxAdmitWindow. Every input
-// is a virtual-event quantity (jobs completed, events fired), never a wall
-// clock, so the chosen window at any engine point is deterministic and the
-// per-shard determinism contract survives adaptation; sealed shards
-// (pinned, non-migratable tenants) still pin the constant minimum as an
-// extra predictability guarantee. Must run under the shard's serialization.
+// stealing it is unbounded (enact at Submit). With stealing, the window is
+// sized by the cost model from the shard's fitted per-job event demand
+// (model.CostModel.Window): keep roughly two pump batches' worth of
+// drainable jobs enacted. Heavy tenants burn far more than a batch of
+// events per job and stay at the minimum; a flood of tiny tenants retires
+// several jobs per batch and would trickle through a constant-size window,
+// under-filling the shard between admissions, so the window grows — capped
+// by the work actually present (running + queued) and by maxAdmitWindow.
+// Every model input is a virtual-event quantity (events fired between
+// completions), never a wall clock, so the chosen window at any engine
+// point is deterministic and the per-shard determinism contract survives
+// adaptation; sealed shards (pinned, non-migratable tenants) still pin the
+// constant minimum as an extra predictability guarantee — their window
+// never consults the model at all. Must run under the shard's
+// serialization.
 func (e *Environment) windowFor(sh *shardEnv) int {
 	if !e.steal {
 		return int(math.MaxInt32)
@@ -1354,20 +1386,7 @@ func (e *Environment) windowFor(sh *shardEnv) int {
 		sh.noteWindow(admitWindow)
 		return admitWindow
 	}
-	w := admitWindow
-	fired, jobs := sh.eventsFired.Load(), sh.doneJobs.Load()
-	if fired > 0 && jobs > 0 {
-		target := int(math.Ceil(2 * float64(jobs) * float64(sh.batch) / float64(fired)))
-		if present := sh.running + len(sh.queue); target > present {
-			target = present // queue depth bounds the window: no admission slack beyond real work
-		}
-		if target > w {
-			w = target
-		}
-		if w > maxAdmitWindow {
-			w = maxAdmitWindow
-		}
-	}
+	w := e.model.Window(sh.id, sh.batch, admitWindow, maxAdmitWindow, sh.running+len(sh.queue))
 	sh.noteWindow(w)
 	return w
 }
@@ -1386,6 +1405,12 @@ type StealStats struct {
 	// Migrations counts queued jobs handed off to another shard before
 	// enactment.
 	Migrations int64
+	// Vetoed counts migration candidates the cost model's benefit gate
+	// refused: a queued job had a willing destination, but the predicted
+	// gain did not cover the handoff. Distinct from rounds that found no
+	// candidate at all — a climbing Vetoed with flat Migrations means
+	// imbalance exists but moving would not pay.
+	Vetoed int64
 	// ForeignPumps counts bounded event batches waiters fired on a shard
 	// other than their own job's, while their own shard's lock was held by
 	// another waiter.
@@ -1404,6 +1429,7 @@ type StealStats struct {
 func (e *Environment) StealStats() StealStats {
 	s := StealStats{
 		Migrations:   e.stealer.Migrations(),
+		Vetoed:       e.stealer.Vetoes(),
 		ForeignPumps: e.stealer.ForeignPumps(),
 	}
 	if e.steal {
@@ -1413,6 +1439,20 @@ func (e *Environment) StealStats() StealStats {
 		}
 	}
 	return s
+}
+
+// placementModel adapts the environment's cost model to the picker's
+// PlacementModel seam: predicted completion of placing a job of the given
+// demand (core-seconds) on shard k, given k's live reserved backlog. Reads
+// are lock-free (model fits and pendingCost are atomics); Pick calls it
+// under the submission lock, where pending reservations are stable.
+type placementModel struct {
+	env *Environment
+}
+
+func (p *placementModel) PredictedCompletion(k int, cost float64) float64 {
+	return p.env.model.Predict(k, cost,
+		float64(p.env.shards[k].pendingCost.Load())/1000).Total
 }
 
 // loadFunc snapshots the weighted-load signal placement and migration run

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Sample is one job's predicted-vs-simulated completion pair, collected by
+// the fidelity battery (internal/modelcheck) from a deterministic replay.
+// Times are virtual seconds.
+type Sample struct {
+	Workload  string  `json:"workload"`
+	Job       int     `json:"job"`
+	Shard     int     `json:"shard"`
+	Predicted float64 `json:"predicted"`
+	Observed  float64 `json:"observed"`
+}
+
+// RelError returns the sample's relative prediction error
+// |predicted − observed| / observed, or +Inf for a non-positive observation.
+func (s Sample) RelError() float64 {
+	if s.Observed <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.Predicted-s.Observed) / s.Observed
+}
+
+// Fidelity aggregates a battery of samples into the scores the CI gate
+// compares against the committed baseline.
+type Fidelity struct {
+	Samples      int     `json:"samples"`
+	MeanRelError float64 `json:"mean_rel_error"`
+	MaxRelError  float64 `json:"max_rel_error"`
+}
+
+// Score aggregates samples; it returns a zero Fidelity for an empty batch.
+func Score(samples []Sample) Fidelity {
+	f := Fidelity{Samples: len(samples)}
+	if len(samples) == 0 {
+		return f
+	}
+	var sum float64
+	for _, s := range samples {
+		rel := s.RelError()
+		sum += rel
+		if rel > f.MaxRelError {
+			f.MaxRelError = rel
+		}
+	}
+	f.MeanRelError = sum / float64(len(samples))
+	return f
+}
+
+// Baseline is the committed fidelity contract (MODEL_baseline.json): the
+// error the twin is allowed before CI fails. The recorded fields document
+// what the thresholds were derived from.
+type Baseline struct {
+	// MaxMeanRelError is the gate: the battery's mean relative prediction
+	// error must not exceed it.
+	MaxMeanRelError float64 `json:"max_mean_rel_error"`
+	// MaxWorstRelError bounds the single worst job (0 disables the bound).
+	MaxWorstRelError float64 `json:"max_worst_rel_error,omitempty"`
+	// MinSamples guards against the battery silently shrinking.
+	MinSamples int `json:"min_samples"`
+	// Recorded is the Fidelity measured when the baseline was committed.
+	Recorded Fidelity `json:"recorded"`
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if b.MaxMeanRelError <= 0 {
+		return b, fmt.Errorf("%s: max_mean_rel_error must be positive", path)
+	}
+	return b, nil
+}
+
+// Check compares a fresh battery score against the baseline and returns one
+// error per violated bound.
+func (b Baseline) Check(f Fidelity) []error {
+	var errs []error
+	if f.Samples < b.MinSamples {
+		errs = append(errs, fmt.Errorf("fidelity battery produced %d samples, baseline requires >= %d", f.Samples, b.MinSamples))
+	}
+	if f.MeanRelError > b.MaxMeanRelError {
+		errs = append(errs, fmt.Errorf("mean relative prediction error %.4f exceeds committed threshold %.4f", f.MeanRelError, b.MaxMeanRelError))
+	}
+	if b.MaxWorstRelError > 0 && f.MaxRelError > b.MaxWorstRelError {
+		errs = append(errs, fmt.Errorf("worst-job relative prediction error %.4f exceeds committed threshold %.4f", f.MaxRelError, b.MaxWorstRelError))
+	}
+	return errs
+}
+
+// UpdateBaseline rewrites the baseline file from a fresh score, keeping the
+// gate thresholds a fixed margin above the measured error so routine noise
+// passes and real drift fails: mean threshold = 1.5× measured (floor 0.05),
+// worst-job threshold = 2× measured (floor 0.10).
+func UpdateBaseline(path string, f Fidelity) (Baseline, error) {
+	b := Baseline{
+		MaxMeanRelError:  math.Max(0.05, 1.5*f.MeanRelError),
+		MaxWorstRelError: math.Max(0.10, 2*f.MaxRelError),
+		MinSamples:       f.Samples,
+		Recorded:         f,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return b, err
+	}
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,53 @@
+package model
+
+// Seed is the static cold-start fit applied to every shard before it has
+// completed a job. The values are deliberately conservative: they make a
+// cold shard rankable against warm peers (it competes on backlog, not on an
+// invented speed advantage) and they reproduce the pre-model scheduler's
+// behavior exactly until real observations arrive — the reactive heuristics
+// are the model's degenerate case.
+type Seed struct {
+	// Rate is the assumed effective drain rate in core-seconds of demand
+	// retired per virtual second. 1.0 means backlog drains in real (virtual)
+	// time: with every shard at the seed, predicted completions rank shards
+	// purely by pending cost, i.e. least-loaded placement.
+	Rate float64
+	// Wait is the assumed pilot queue wait in virtual seconds. The default
+	// mirrors the simulator's 30-minute median site wait.
+	Wait float64
+	// EventsPerJob is the assumed engine events retired per completed job.
+	// Seeded at the backend's pump batch size, so a cold shard's window
+	// target (2×batch ÷ events-per-job) is 2 — below the floor, the same
+	// posture the drained-cost heuristic had before any job finished.
+	EventsPerJob float64
+	// Cost is the assumed demand of a typical job in core-seconds (the
+	// 64-unit × 15-minute reference workload at 1 core per unit).
+	Cost float64
+	// MigrationDelay is the assumed virtual-time cost of a queued-job
+	// handoff. The two-phase handoff re-enacts the descriptor without
+	// rewinding virtual time, so the default is 0 — the migration gate's
+	// margin comes from the destination service time, not from here.
+	MigrationDelay float64
+}
+
+// Backend tags accepted by DefaultSeed, mirroring the environment kinds.
+const (
+	BackendLocal  = "local"
+	BackendWorker = "worker"
+)
+
+// DefaultSeed returns the cold-start fit for a backend kind. Worker shards
+// pump larger step batches (512 vs the local 64), so their per-job event
+// demand is seeded higher; everything else is backend-independent.
+func DefaultSeed(backend string) Seed {
+	s := Seed{
+		Rate:         1.0,
+		Wait:         1800,
+		EventsPerJob: 64,
+		Cost:         64 * 15 * 60,
+	}
+	if backend == BackendWorker {
+		s.EventsPerJob = 512
+	}
+	return s
+}

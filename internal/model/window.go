@@ -1,0 +1,30 @@
+package model
+
+// Window sizes shard k's admission window from the model's fitted per-job
+// event demand: admit as many jobs as fit in roughly two pump batches, so
+// one batch of progress always covers the admitted set with headroom. This
+// is the predictive form of the old drained-cost heuristic — that one
+// divided cumulative completed jobs × batch by cumulative events fired;
+// this one uses the same ratio fitted as an EWMA, so it tracks the current
+// workload instead of the lifetime average. At the cold-start seed
+// (EventsPerJob ≥ batch) the target collapses below the floor, matching the
+// old cold behavior.
+//
+// batch is the shard's pump batch size, present the number of jobs the
+// window could currently cover (running + queued); the result is clamped to
+// [floor, cap] and never exceeds present (no point opening a window wider
+// than the work available).
+func (m *CostModel) Window(k, batch, floor, cap, present int) int {
+	epj := m.EventsPerJob(k)
+	target := int(2 * float64(batch) / epj)
+	if present > 0 && target > present {
+		target = present
+	}
+	if target > cap {
+		target = cap
+	}
+	if target < floor {
+		target = floor
+	}
+	return target
+}

@@ -1,0 +1,145 @@
+// Package modelcheck is the cost model's validation battery: it replays a
+// deterministic mix of workloads through a live Environment, records each
+// job's predicted completion (taken at enactment) against the completion
+// the simulator actually produced, and scores the pairs into a
+// model.Fidelity that CI compares against the committed baseline
+// (MODEL_baseline.json, via cmd/model-check or TestModelFidelity).
+//
+// Jobs run strictly sequentially — submit, wait, next — so every run of the
+// battery visits the same virtual trajectory and the fits warm under the
+// same observation order. The first jobs of each workload kind are warmup:
+// they are predicted from the cold seed (which deliberately mirrors the
+// pre-model heuristics, not the simulator) and are excluded from scoring.
+// What the gate measures is the steady-state twin: how well a warmed model
+// predicts the simulator it shadows.
+package modelcheck
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aimes"
+	"aimes/internal/model"
+	"aimes/internal/scenario/workload"
+	"aimes/internal/skeleton"
+)
+
+// Options tune the battery. Zero values take the documented defaults.
+type Options struct {
+	// Shards is the environment's shard count (default 2).
+	Shards int
+	// Warmup is the number of leading jobs per workload kind excluded from
+	// scoring (default 4).
+	Warmup int
+	// Scored is the number of scored jobs per workload kind (default 8).
+	Scored int
+	// Seed is the base deterministic seed (default 20260808).
+	Seed int64
+	// Timeout bounds the wall-clock wait per job (default 2 minutes; the
+	// engine runs in virtual time, so this only trips on a wedged run).
+	Timeout time.Duration
+	// Tasks is the task count per job (default 32).
+	Tasks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 4
+	}
+	if o.Scored <= 0 {
+		o.Scored = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 20260808
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.Tasks <= 0 {
+		o.Tasks = 32
+	}
+	return o
+}
+
+// kind is one workload family of the battery.
+type kind struct {
+	name string
+	gen  func(tasks int, seed int64) (*skeleton.Workload, error)
+}
+
+// battery is the fixed workload mix: the paper's uniform and Gaussian task
+// bags plus the scenario engine's bounded-Pareto straggler mix, so the model
+// is scored on both homogeneous and heavy-tailed demand.
+func battery(tasks int) []kind {
+	return []kind{
+		{"uniform", func(n int, seed int64) (*skeleton.Workload, error) {
+			return aimes.GenerateWorkload(aimes.BagOfTasks(n, aimes.UniformDuration()), seed)
+		}},
+		{"gaussian", func(n int, seed int64) (*skeleton.Workload, error) {
+			return aimes.GenerateWorkload(aimes.BagOfTasks(n, aimes.GaussianDuration()), seed)
+		}},
+		{"heavy-tail", func(n int, seed int64) (*skeleton.Workload, error) {
+			return workload.Generate(workload.Params{
+				Process: workload.HeavyTailed, Tasks: n,
+			}, seed)
+		}},
+	}
+}
+
+// Run executes the battery and returns the aggregate score plus every scored
+// sample (for diagnostics and history records). Each workload kind gets a
+// fresh environment — and so a fresh, cold model — making the warmup
+// trajectory per-kind deterministic and independent of battery order.
+func Run(opts Options) (model.Fidelity, []model.Sample, error) {
+	opts = opts.withDefaults()
+	cfg := aimes.JobConfig{
+		StrategyConfig: aimes.StrategyConfig{
+			Binding: aimes.LateBinding, Scheduler: aimes.SchedBackfill, Pilots: 2,
+		},
+		Placement: aimes.PlacePredictive,
+	}
+	var samples []model.Sample
+	for ki, k := range battery(opts.Tasks) {
+		env, err := aimes.NewEnv(
+			aimes.WithSeed(opts.Seed+int64(ki)), aimes.WithShards(opts.Shards))
+		if err != nil {
+			return model.Fidelity{}, nil, fmt.Errorf("modelcheck %s: %w", k.name, err)
+		}
+		for i := 0; i < opts.Warmup+opts.Scored; i++ {
+			w, err := k.gen(opts.Tasks, opts.Seed+int64(1000*ki+i))
+			if err != nil {
+				env.Close()
+				return model.Fidelity{}, nil, fmt.Errorf("modelcheck %s job %d: %w", k.name, i, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+			j, err := env.Submit(ctx, w, cfg)
+			if err != nil {
+				cancel()
+				env.Close()
+				return model.Fidelity{}, nil, fmt.Errorf("modelcheck %s job %d: %w", k.name, i, err)
+			}
+			r, err := j.Wait(ctx)
+			cancel()
+			if err != nil {
+				env.Close()
+				return model.Fidelity{}, nil, fmt.Errorf("modelcheck %s job %d: %w", k.name, i, err)
+			}
+			if i < opts.Warmup {
+				continue
+			}
+			samples = append(samples, model.Sample{
+				Workload:  k.name,
+				Job:       i,
+				Shard:     j.Shard(),
+				Predicted: j.PredictedTTC().Seconds(),
+				Observed:  r.TTC.Seconds(),
+			})
+		}
+		env.Close()
+	}
+	return model.Score(samples), samples, nil
+}

@@ -3,6 +3,8 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"aimes/internal/core"
@@ -27,11 +29,22 @@ const (
 	// AssertFleet bounds a fleet statistic (restarts, replayed,
 	// endpoints_cordoned, endpoints_unhealthy) between Min and Max.
 	AssertFleet = "fleet"
+	// AssertModel bounds the cost model's prediction error over the run's
+	// completed jobs: Field selects mean_rel_error (default) or
+	// max_rel_error, Min/Max bound it. Requires a fleet section — the
+	// environment runner is what records per-job predictions.
+	AssertModel = "model"
+	// AssertLatency bounds a percentile of per-unit latency (seconds from a
+	// unit's first trace record to its DONE record): Percentile selects
+	// e.g. 50, 95 or 99, Min/Max bound the value. EntityPrefix narrows the
+	// unit population (default "unit.").
+	AssertLatency = "latency"
 )
 
 var knownAssertKinds = map[string]bool{
 	AssertState: true, AssertReport: true, AssertTrace: true,
-	AssertThroughput: true, AssertFleet: true,
+	AssertThroughput: true, AssertFleet: true, AssertModel: true,
+	AssertLatency: true,
 }
 
 // Assertion is one declarative post-run check. Kind selects which fields
@@ -53,14 +66,23 @@ type Assertion struct {
 	Min   *float64 `json:"min,omitempty"`
 	Max   *float64 `json:"max,omitempty"`
 
-	// trace: predicate over the run's qualified trace records.
+	// trace: predicate over the run's qualified trace records. latency
+	// reuses EntityPrefix to narrow the unit population.
 	Entity         string `json:"entity,omitempty"`
 	EntityPrefix   string `json:"entity_prefix,omitempty"`
 	State          string `json:"state,omitempty"`
 	DetailContains string `json:"detail_contains,omitempty"`
 	MinCount       *int   `json:"min_count,omitempty"`
 	MaxCount       *int   `json:"max_count,omitempty"`
+
+	// latency: which percentile of the per-unit latency distribution to
+	// bound (0 < Percentile <= 100).
+	Percentile *float64 `json:"percentile,omitempty"`
 }
+
+// modelFields is the model-assertion vocabulary ("" selects the default,
+// mean_rel_error).
+var modelFields = map[string]bool{"": true, "mean_rel_error": true, "max_rel_error": true}
 
 // reportFields is the report-field vocabulary (field name → extractor).
 // rescheduled and pilots_lost are outcome-level aggregates (they ignore
@@ -159,6 +181,25 @@ func (a Assertion) validate(s *Scenario) []error {
 		if s.Fleet == nil {
 			fail("fleet assertion requires a fleet section")
 		}
+	case AssertModel:
+		if !modelFields[a.Field] {
+			fail("unknown model field %q (known: max_rel_error, mean_rel_error)", a.Field)
+		}
+		if a.Min == nil && a.Max == nil {
+			fail("model assertion needs min and/or max")
+		}
+		if s.Fleet == nil {
+			fail("model assertion requires a fleet section (per-job predictions are recorded by the environment runner)")
+		}
+	case AssertLatency:
+		if a.Percentile == nil {
+			fail("latency assertion needs percentile (e.g. 50, 95, 99)")
+		} else if *a.Percentile <= 0 || *a.Percentile > 100 {
+			fail("percentile %g out of range (0, 100]", *a.Percentile)
+		}
+		if a.Min == nil && a.Max == nil {
+			fail("latency assertion needs min and/or max (seconds)")
+		}
 	default:
 		fail("unknown assertion kind %q (known: %v)", a.Kind, sortedKeys(knownAssertKinds))
 	}
@@ -174,6 +215,10 @@ type JobOutcome struct {
 	// Report is nil for jobs that produced none (e.g. killed with their
 	// worker).
 	Report *core.Report
+	// Predicted is the cost model's predicted completion in seconds,
+	// recorded when the job was enacted (0 on the direct runner, which has
+	// no environment and so no model).
+	Predicted float64
 }
 
 // FleetOutcome summarizes the worker fleet after the run (zero on the
@@ -320,8 +365,87 @@ func (a Assertion) check(o *Outcome) error {
 			return fmt.Errorf("fleet %s: want %s, got %g", a.Field, bound(a.Min, a.Max), v)
 		}
 		return nil
+	case AssertModel:
+		var sum, worst float64
+		n := 0
+		for _, j := range o.Jobs {
+			if j.State != "done" || j.Report == nil || j.Predicted <= 0 {
+				continue
+			}
+			obs := j.Report.TTC.Seconds()
+			if obs <= 0 {
+				continue
+			}
+			rel := math.Abs(j.Predicted-obs) / obs
+			sum += rel
+			if rel > worst {
+				worst = rel
+			}
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("model: no completed job carried a prediction (run via the environment runner with completed jobs)")
+		}
+		field, v := a.Field, sum/float64(n)
+		if field == "" {
+			field = "mean_rel_error"
+		}
+		if field == "max_rel_error" {
+			v = worst
+		}
+		if !inBounds(v, a.Min, a.Max) {
+			return fmt.Errorf("model %s: want %s, got %.4f over %d job(s)", field, bound(a.Min, a.Max), v, n)
+		}
+		return nil
+	case AssertLatency:
+		prefix := a.EntityPrefix
+		if prefix == "" {
+			prefix = "unit."
+		}
+		// Latency of a unit: its first trace record to its DONE record.
+		first := map[string]trace.Record{}
+		done := map[string]trace.Record{}
+		for _, rec := range o.Recorder.Records() {
+			if !strings.HasPrefix(rec.Entity, prefix) {
+				continue
+			}
+			if f, ok := first[rec.Entity]; !ok || rec.Time < f.Time {
+				first[rec.Entity] = rec
+			}
+			if rec.State == "DONE" {
+				if d, ok := done[rec.Entity]; !ok || rec.Time < d.Time {
+					done[rec.Entity] = rec
+				}
+			}
+		}
+		var lats []float64
+		for entity, d := range done {
+			lats = append(lats, (d.Time - first[entity].Time).Seconds())
+		}
+		if len(lats) == 0 {
+			return fmt.Errorf("latency: no %q entity reached DONE", prefix)
+		}
+		sort.Float64s(lats)
+		v := percentile(lats, *a.Percentile)
+		if !inBounds(v, a.Min, a.Max) {
+			return fmt.Errorf("latency p%g: want %s seconds, got %.1f over %d unit(s)",
+				*a.Percentile, bound(a.Min, a.Max), v, len(lats))
+		}
+		return nil
 	}
 	return fmt.Errorf("unknown assertion kind %q", a.Kind)
+}
+
+// percentile returns the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // tracePredicate renders the trace predicate for failure messages.

@@ -179,7 +179,10 @@ func RunEnv(s *Scenario, opts EnvOptions) (*Outcome, error) {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("scenario %s: job %d: %w", s.Name, i, ctx.Err())
 		}
-		jo := JobOutcome{State: j.State().String(), Report: r}
+		jo := JobOutcome{
+			State: j.State().String(), Report: r,
+			Predicted: j.PredictedTTC().Seconds(),
+		}
 		if werr != nil {
 			jo.Err = werr.Error()
 			if r == nil {

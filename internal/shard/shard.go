@@ -27,6 +27,15 @@ const (
 	// cross-job determinism pin: same seed + same per-shard submission order
 	// reproduces identical reports regardless of other shards' traffic.
 	Pinned
+	// Predictive places each job on the shard with the minimum predicted
+	// completion time from the analytical cost model (internal/model): fitted
+	// queue wait + backlog drain + the job's own service time at the shard's
+	// fitted drain rate. With every shard at the cold-start fit this ranks
+	// shards exactly like LeastLoaded; once fits diverge it prefers the shard
+	// that will actually finish the job soonest, not the one with the least
+	// backlog. Requires a PlacementModel (SetModel); falls back to
+	// LeastLoaded when none is wired.
+	Predictive
 )
 
 func (p Policy) String() string {
@@ -37,16 +46,29 @@ func (p Policy) String() string {
 		return "least-loaded"
 	case Pinned:
 		return "pinned"
+	case Predictive:
+		return "predictive"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PlacementModel is the seam between the picker and the analytical cost
+// model: given a candidate shard and a job's expected demand in
+// core-seconds, it returns the predicted completion time (virtual seconds)
+// of placing the job there. Implementations must be safe for concurrent
+// lock-free reads — Pick runs under the environment's submission lock but
+// the model's fits are updated from completion paths on other goroutines.
+type PlacementModel interface {
+	PredictedCompletion(k int, cost float64) float64
 }
 
 // Picker assigns jobs to shards under a policy. It is not safe for
 // concurrent use; the environment calls Pick under its submission lock. The
 // load callback may read concurrently-updated counters (e.g. atomics).
 type Picker struct {
-	n    int
-	next int
+	n     int
+	next  int
+	model PlacementModel
 }
 
 // NewPicker returns a picker over n shards. n must be at least 1.
@@ -60,15 +82,20 @@ func NewPicker(n int) *Picker {
 // Shards reports the number of shards the picker places onto.
 func (p *Picker) Shards() int { return p.n }
 
+// SetModel wires the analytical cost model the Predictive policy consults.
+// Call it once at environment construction, before any Pick.
+func (p *Picker) SetModel(m PlacementModel) { p.model = m }
+
 // Pick returns the shard index for one submission. pinned is the requested
-// shard for Pinned; load reports the effective load of a shard for
-// LeastLoaded (ties resolve to the lowest index). The caller fixes the load
-// unit — the environment reports pending expected core-seconds divided by
-// the shard's observed drain rate — and must make the pick-plus-reservation
-// atomic under its submission lock: a picker that reads loads which only
-// grow after the lock is released lets two concurrent submissions both land
-// on the same "least loaded" shard.
-func (p *Picker) Pick(policy Policy, pinned int, load func(int) float64) (int, error) {
+// shard for Pinned; cost is the job's expected demand in core-seconds for
+// Predictive; load reports the effective load of a shard for LeastLoaded
+// (ties resolve to the lowest index). The caller fixes the load unit — the
+// environment reports pending expected core-seconds divided by the shard's
+// observed drain rate — and must make the pick-plus-reservation atomic
+// under its submission lock: a picker that reads loads which only grow
+// after the lock is released lets two concurrent submissions both land on
+// the same "least loaded" shard.
+func (p *Picker) Pick(policy Policy, pinned int, cost float64, load func(int) float64) (int, error) {
 	switch policy {
 	case RoundRobin:
 		k := p.next
@@ -79,6 +106,17 @@ func (p *Picker) Pick(policy Policy, pinned int, load func(int) float64) (int, e
 		for k := 1; k < p.n; k++ {
 			if l := load(k); l < bestLoad {
 				best, bestLoad = k, l
+			}
+		}
+		return best, nil
+	case Predictive:
+		if p.model == nil {
+			return p.Pick(LeastLoaded, pinned, cost, load)
+		}
+		best, bestPred := 0, p.model.PredictedCompletion(0, cost)
+		for k := 1; k < p.n; k++ {
+			if pr := p.model.PredictedCompletion(k, cost); pr < bestPred {
+				best, bestPred = k, pr
 			}
 		}
 		return best, nil

@@ -18,6 +18,7 @@ type Stealer struct {
 	queued       []atomic.Int64 // migratable jobs queued per shard
 	sealed       []atomic.Bool  // shards hosting pinned, non-migratable tenants
 	migrations   atomic.Int64
+	vetoed       atomic.Int64
 	foreignPumps atomic.Int64
 }
 
@@ -74,6 +75,16 @@ func (s *Stealer) CountMigration() { s.migrations.Add(1) }
 
 // Migrations reports how many queued jobs were handed off between shards.
 func (s *Stealer) Migrations() int64 { return s.migrations.Load() }
+
+// CountVeto records one migration candidate the cost model's benefit gate
+// refused: a queued job with a willing destination where the predicted gain
+// did not cover the handoff. Distinct from rounds that simply found no
+// candidate — a climbing veto count means imbalance exists but moving would
+// not pay.
+func (s *Stealer) CountVeto() { s.vetoed.Add(1) }
+
+// Vetoes reports how many migration candidates the benefit gate refused.
+func (s *Stealer) Vetoes() int64 { return s.vetoed.Load() }
 
 // CountForeignPump records one bounded event batch a waiter fired on a shard
 // other than its own job's.

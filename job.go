@@ -10,6 +10,7 @@ import (
 
 	"aimes/internal/backend"
 	"aimes/internal/core"
+	"aimes/internal/model"
 	"aimes/internal/shard"
 	"aimes/internal/trace"
 )
@@ -105,6 +106,14 @@ const (
 	// non-migratable submission also seals its shard against incoming
 	// migrants, so the contract survives other shards' jobs migrating.
 	PlacePinned = shard.Pinned
+	// PlacePredictive places the job on the shard with the minimum
+	// predicted completion time from the analytical cost model
+	// (internal/model): fitted queue wait + backlog drain + the job's own
+	// service time at the shard's fitted drain rate. Until completions have
+	// warmed the fits this ranks shards exactly like PlaceLeastLoaded; after
+	// that it prefers the shard that will finish the job soonest, which on
+	// heterogeneous shards is not always the one with the least backlog.
+	PlacePredictive = shard.Predictive
 )
 
 // MigratePolicy controls whether cross-shard work stealing may hand a
@@ -180,6 +189,7 @@ type Job struct {
 	mu           sync.Mutex
 	ns           string
 	strategy     Strategy
+	predicted    float64 // model-predicted completion at enactment, virtual seconds
 	enacted      bool
 	handoff      bool // popped from its origin's queue, not yet landed
 	hopped       bool // migrated once already; jobs move at most one hop
@@ -264,7 +274,7 @@ func (e *Environment) Submit(ctx context.Context, w *Workload, cfg JobConfig) (*
 	// it for least-loaded placement, and round-robin/pinned submissions
 	// should not pay the O(shards) scan under the hottest lock.
 	var load func(int) float64
-	k, err := e.picker.Pick(cfg.Placement, cfg.Shard, func(k int) float64 {
+	k, err := e.picker.Pick(cfg.Placement, cfg.Shard, float64(cost)/1000, func(k int) float64 {
 		if load == nil {
 			load = e.loadFunc()
 		}
@@ -377,6 +387,11 @@ func (e *Environment) enactLocked(sh *shardEnv, j *Job) error {
 	j.mu.Lock()
 	j.ns = res.Namespace
 	j.strategy = res.Strategy
+	// Commit the model's prediction for this placement: the report's TTC
+	// clock starts at enactment, so the comparable prediction is the fitted
+	// pilot queue wait plus the job's own service time — no backlog term.
+	// Scored against the observed TTC when the job completes.
+	j.predicted = e.model.Predict(sh.id, float64(j.cost)/1000, 0).Total
 	j.enacted = true
 	j.handoff = false
 	reason := j.cancelReason
@@ -465,16 +480,18 @@ func (sh *shardEnv) removeQueued(j *Job) bool {
 }
 
 // migrationCandidate is the lock-free pre-check for self-migration: is
-// there any open shard that would be strictly better off running this job?
-// Waiters of queued jobs poll it every pump iteration, so it must not take
-// the submission lock on a balanced system.
+// there any open shard where the cost model predicts enough benefit to pay
+// for the handoff? Waiters of queued jobs poll it every pump iteration, so
+// it must not take the submission lock on a balanced system — the model's
+// fits and the pending counters are all atomic reads.
 func (e *Environment) migrationCandidate(origin *shardEnv, cost int64) bool {
-	o := float64(origin.pendingCost.Load())
+	o := float64(origin.pendingCost.Load()) / 1000
+	c := float64(cost) / 1000
 	for k, sh := range e.shards {
 		if sh == origin || e.stealer.Sealed(k) {
 			continue
 		}
-		if shard.ShouldMigrate(o, float64(sh.pendingCost.Load()), float64(cost)) {
+		if e.model.ShouldMigrate(origin.id, k, c, o, float64(sh.pendingCost.Load())/1000) {
 			return true
 		}
 	}
@@ -508,16 +525,22 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 		return false
 	}
 
-	// Decide and reserve under the submission lock.
+	// Decide and reserve under the submission lock. The destination is the
+	// shard where the model predicts this job would finish soonest; the
+	// benefit gate then demands the predicted gain cover the handoff
+	// (model.CostModel.ShouldMigrate), so a candidate with a willing
+	// destination can still be vetoed — counted separately from rounds that
+	// found no destination at all.
+	c := float64(j.cost) / 1000
 	e.jobMu.Lock()
-	load := e.loadFunc()
-	best, bestLoad := -1, 0.0
-	for k := range e.shards {
+	best, bestPred := -1, 0.0
+	for k, sh := range e.shards {
 		if k == origin.id || e.stealer.Sealed(k) {
 			continue
 		}
-		if l := load(k); best < 0 || l < bestLoad {
-			best, bestLoad = k, l
+		p := e.model.Predict(k, c, float64(sh.pendingCost.Load())/1000).Total
+		if best < 0 || p < bestPred {
+			best, bestPred = k, p
 		}
 	}
 	if best < 0 {
@@ -525,9 +548,10 @@ func (e *Environment) migrateJob(j *Job, forced bool) bool {
 		return false
 	}
 	dest := e.shards[best]
-	if !forced && !shard.ShouldMigrate(
-		float64(origin.pendingCost.Load()), float64(dest.pendingCost.Load()), float64(j.cost)) {
+	if !forced && !e.model.ShouldMigrate(origin.id, dest.id, c,
+		float64(origin.pendingCost.Load())/1000, float64(dest.pendingCost.Load())/1000) {
 		e.jobMu.Unlock()
+		e.stealer.CountVeto()
 		return false
 	}
 	dest.pendingCost.Add(j.cost) // reserve before releasing the lock
@@ -710,6 +734,18 @@ func (j *Job) Report() *Report {
 	default:
 		return nil
 	}
+}
+
+// PredictedTTC returns the completion time the analytical cost model
+// predicted for this job at the moment it was enacted on its shard — the
+// fitted pilot queue wait plus the job's service time at the shard's fitted
+// drain rate — or 0 while the job is still queued. Compare with
+// Report().TTC to score the model (the fidelity harness and the scenario
+// `model` assertion do exactly that).
+func (j *Job) PredictedTTC() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return time.Duration(j.predicted * float64(time.Second))
 }
 
 // Err returns the terminal error for failed jobs, or nil.
@@ -952,6 +988,36 @@ func (j *Job) complete(r *Report, err error) {
 		// placement; canceled and failed jobs tell us nothing about rate.
 		sh.doneCost.Add(j.cost)
 		sh.doneJobs.Add(1)
+		if r != nil {
+			// Feed the analytical twin: the job's measured wait and
+			// completion refit the shard's drain rate and queue wait, and
+			// the events fired since the last completion that saw the
+			// counter move refit its per-job event demand. Events fire in
+			// batches, so the delta stays 0 for completions within one
+			// batch and then covers them all at once — EventsJobs tells
+			// the fit how many. (lastDoneEvents/lastDoneJobs are guarded
+			// by the shard serialization every completion path runs
+			// under.)
+			var delta, jobs int64
+			if fired := sh.eventsFired.Load(); fired > sh.lastDoneEvents {
+				delta = fired - sh.lastDoneEvents
+				jobs = sh.doneJobs.Load() - sh.lastDoneJobs
+				sh.lastDoneEvents = fired
+				sh.lastDoneJobs = sh.doneJobs.Load()
+			}
+			j.mu.Lock()
+			predicted := j.predicted
+			j.mu.Unlock()
+			j.env.model.Observe(model.Observation{
+				Shard:      sh.id,
+				Cost:       float64(j.cost) / 1000,
+				Wait:       r.Tw.Seconds(),
+				TTC:        r.TTC.Seconds(),
+				Events:     delta,
+				EventsJobs: jobs,
+				Predicted:  predicted,
+			})
+		}
 	}
 	if enacted {
 		sh.running--

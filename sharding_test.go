@@ -3,6 +3,7 @@ package aimes_test
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -340,5 +341,61 @@ func TestShardNamespaces(t *testing.T) {
 	}
 	if env.ShardBundle(0) == nil || env.ShardBundle(2) != nil {
 		t.Fatal("ShardBundle range handling broken")
+	}
+}
+
+// TestPredictivePlacementMatchesLeastLoadedWhenCold pins down the cost
+// model's degenerate case: before any completion has been observed, every
+// shard carries the identical seed fit, so PlacePredictive's minimum
+// predicted completion must rank shards exactly like PlaceLeastLoaded's
+// effective load. Two environments with the same seed receive the same
+// submission sequence under each policy; the per-job shard sequences must be
+// deeply equal, and both fleets drain cleanly under the race detector.
+func TestPredictivePlacementMatchesLeastLoadedWhenCold(t *testing.T) {
+	const nShards, nJobs = 4, 12
+	run := func(placement aimes.Placement) []int {
+		env, err := aimes.NewEnv(aimes.WithSeed(97), aimes.WithShards(nShards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer env.Close()
+		var jobs []*aimes.Job
+		shards := make([]int, 0, nJobs)
+		for i := 0; i < nJobs; i++ {
+			// Varying task counts give the submissions distinct costs, so the
+			// predictive ranking is exercised on an uneven backlog, not just
+			// a round-robin-equivalent uniform one.
+			w, err := aimes.GenerateWorkload(
+				aimes.BagOfTasks(4+(i%3)*4, aimes.UniformDuration()), int64(900+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := env.Submit(context.Background(), w, aimes.JobConfig{
+				StrategyConfig: shardCfg, Placement: placement,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+			shards = append(shards, j.Shard())
+		}
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j *aimes.Job) {
+				defer wg.Done()
+				if _, err := j.Wait(context.Background()); err != nil {
+					t.Errorf("wait: %v", err)
+				}
+			}(j)
+		}
+		wg.Wait()
+		return shards
+	}
+	predictive := run(aimes.PlacePredictive)
+	leastLoaded := run(aimes.PlaceLeastLoaded)
+	if !reflect.DeepEqual(predictive, leastLoaded) {
+		t.Fatalf("cold predictive placement diverged from least-loaded:\npredictive  %v\nleastloaded %v",
+			predictive, leastLoaded)
 	}
 }
